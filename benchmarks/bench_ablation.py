@@ -1,0 +1,5 @@
+"""Bench E-AB — lateness/reconfiguration, r and c ablations."""
+
+
+def test_ablations(run_experiment):
+    run_experiment("E-AB")

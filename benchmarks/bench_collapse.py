@@ -1,0 +1,5 @@
+"""Bench E-X3 — the routing collapse threshold (fixpoint model vs measured)."""
+
+
+def test_collapse_threshold(run_experiment):
+    run_experiment("E-X3")

@@ -1,0 +1,5 @@
+"""Bench E-L24 — O(log^3 n) congestion scaling."""
+
+
+def test_lemma24_congestion(run_experiment):
+    run_experiment("E-L24")

@@ -1,0 +1,26 @@
+"""Bench E-X1 / E-X2 — the transfer and estimation extensions."""
+
+
+def test_chord_transfer(run_experiment):
+    run_experiment("E-X1")
+
+
+def test_size_estimation(run_experiment):
+    result = run_experiment("E-X2")
+    # The slack column must be uniformly true.
+    assert all(bool(row[5]) for row in result.rows)
+
+
+def test_dht_durability(run_experiment):
+    result = run_experiment("E-X4")
+    # The readback row must be all-items-recovered.
+    assert any("recovered" in str(row[0]) and bool(row[-1]) for row in result.rows)
+
+
+def test_content_lateness_threshold(run_experiment):
+    run_experiment("E-X5")
+
+
+def test_period_vs_lateness(run_experiment):
+    result = run_experiment("E-X6")
+    assert all(bool(row[-1]) for row in result.rows)

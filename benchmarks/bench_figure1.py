@@ -1,0 +1,7 @@
+"""Bench E-F1 — regenerate Figure 1 (LDS neighbourhood arcs)."""
+
+
+def test_figure1(run_experiment):
+    result = run_experiment("E-F1")
+    # Three arcs per sampled node, all covering and fully connected.
+    assert all(row[-1] and row[-2] for row in result.rows)

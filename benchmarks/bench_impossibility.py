@@ -1,0 +1,9 @@
+"""Bench E-L3 / E-L4 — the Section 2 impossibility attacks."""
+
+
+def test_lemma3_isolation(run_experiment):
+    run_experiment("E-L3")
+
+
+def test_lemma4_join_chain(run_experiment):
+    run_experiment("E-L4")

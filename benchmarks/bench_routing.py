@@ -1,0 +1,50 @@
+"""Bench E-L9 — routing sweep, plus trajectory/forwarding micro-benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.overlay.trajectory import trajectory
+from repro.routing.series import SeriesRouter
+
+
+def test_lemma9_routing_sweep(run_experiment):
+    result = run_experiment("E-L9")
+    # Dilation must be exact on every delivered message, at every (n, k).
+    for row in result.rows:
+        exact, total = map(int, str(row[4]).split("/"))
+        assert exact == total
+
+
+def test_micro_trajectory(benchmark):
+    """Definition-7 trajectory computation (the per-message setup cost)."""
+    lam = 12
+    rng = np.random.default_rng(2)
+    pairs = rng.random((2000, 2))
+
+    def build():
+        acc = 0.0
+        for v, p in pairs:
+            acc += trajectory(float(v), float(p), lam)[-2]
+        return acc
+
+    benchmark(build)
+
+
+def test_micro_route_batch(benchmark, quick):
+    """End-to-end routing of one message per node, no churn."""
+    n = 128 if quick else 256
+    params = ProtocolParams(n=n, c=1.5, r=2, seed=3)
+    rng = np.random.default_rng(3)
+    targets = rng.random(n)
+
+    def run():
+        router = SeriesRouter(params, seed=3)
+        for v in range(n):
+            router.send(v, float(targets[v]))
+        router.run_until_quiet()
+        return sum(1 for o in router.outcomes.values() if o.delivered)
+
+    delivered = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert delivered == n

@@ -1,0 +1,5 @@
+"""Bench E-L13 — A_SAMPLING uniformity and discard probability."""
+
+
+def test_lemma13_sampling(run_experiment):
+    run_experiment("E-L13")

@@ -1,0 +1,6 @@
+"""Bench E-T1 — regenerate Table 1 (adversary-model comparison)."""
+
+
+def test_table1(run_experiment):
+    result = run_experiment("E-T1")
+    assert len(result.rows) == 4

@@ -1,0 +1,7 @@
+"""Bench E-T14 — the main theorem: routability under a 2-late adversary."""
+
+
+def test_theorem14_maintenance(run_experiment):
+    result = run_experiment("E-T14")
+    # Every (adversary, n) row must individually pass.
+    assert all(bool(row[-1]) for row in result.rows)

@@ -1,0 +1,52 @@
+"""Bench E-L6 / E-L12 — topology lemmas, plus construction micro-benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.overlay.lds import LDSGraph
+from repro.overlay.positions import PositionIndex
+
+
+def test_lemma6_swarm_property(run_experiment):
+    run_experiment("E-L6")
+
+
+def test_lemma12_trajectory_census(run_experiment):
+    run_experiment("E-L12")
+
+
+def test_micro_lds_construction(benchmark, quick):
+    """Full neighbourhood materialisation of one LDS instance."""
+    n = 256 if quick else 1024
+    params = ProtocolParams(n=n, seed=0)
+    rng = np.random.default_rng(0)
+
+    def build():
+        graph = LDSGraph.random(params, rng)
+        for v in graph.node_ids:
+            graph.neighbors(int(v))
+        return graph.edge_count()
+
+    edges = benchmark(build)
+    assert edges > 0
+
+
+def test_micro_swarm_queries(benchmark, quick):
+    """Point-swarm range queries on a sorted position index."""
+    n = 4096 if quick else 65536
+    rng = np.random.default_rng(1)
+    index = PositionIndex({i: float(p) for i, p in enumerate(rng.random(n))})
+    params = ProtocolParams(n=n, seed=0)
+    points = rng.random(2000)
+
+    def query():
+        total = 0
+        for p in points:
+            total += index.ids_within(float(p), params.swarm_radius).size
+        return total
+
+    total = benchmark(query)
+    # Mean swarm size ~ 2*c*lam at density n.
+    assert total / len(points) > params.expected_swarm_size / 2

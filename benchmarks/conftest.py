@@ -1,0 +1,57 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper artefact via the experiment registry,
+times it with pytest-benchmark (single round — these are simulations, not
+microseconds-level kernels), asserts the experiment's PASS verdict, and
+writes the rendered table to ``benchmarks/results/<id>.txt`` so the numbers
+behind EXPERIMENTS.md can be re-diffed at any time.
+
+Run everything with:  pytest benchmarks/ --benchmark-only
+Full (slow) sizes:    pytest benchmarks/ --benchmark-only --full
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full",
+        action="store_true",
+        default=False,
+        help="run full-size experiment sweeps instead of quick ones",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return not request.config.getoption("--full")
+
+
+@pytest.fixture
+def run_experiment(benchmark, quick):
+    """Run a registered experiment under the benchmark timer.
+
+    Returns the ExperimentResult; fails the test if the experiment's own
+    verdict is FAIL.  The rendered table is persisted under results/.
+    """
+
+    def _run(experiment_id: str, **kwargs):
+        from repro.experiments import get_experiment
+
+        fn = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            lambda: fn(quick=quick, **kwargs), rounds=1, iterations=1
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(result.to_table() + "\n")
+        assert result.passed, f"{experiment_id} failed:\n{result.to_table()}"
+        return result
+
+    return _run

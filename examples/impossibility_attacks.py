@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The Section 2 impossibility results, live.
+
+Two attacks against a perfectly reasonable gossip overlay:
+
+* **Lemma 3** — an adversary with up-to-date topology knowledge joins a
+  victim node and erases everyone who ever communicates with it; the victim
+  ends up alone.
+* **Lemma 4** — if nodes may join via 1-round-old bootstraps, an adversary
+  that never looks at the topology at all partitions the network with a
+  chain of joins.  Under the model's 2-round rule, the same attack is
+  rejected on its first step.
+
+Run:  python examples/impossibility_attacks.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary.budget import ChurnViolation
+from repro.adversary.isolate_join import IsolateJoinAdversary
+from repro.adversary.join_chain import JoinChainAdversary
+from repro.analysis.connectivity import (
+    component_of,
+    is_connected,
+    knowledge_graph_of_gossip,
+)
+from repro.baselines.gossip import GossipNode
+from repro.config import ProtocolParams
+from repro.sim.engine import Engine
+
+
+def gossip_engine(params, adversary, join_min_age=2):
+    eng = Engine(
+        params,
+        lambda v, s: GossipNode(v, s),
+        adversary=adversary,
+        join_min_age=join_min_age,
+    )
+    eng.seed_nodes(range(params.n))
+    for v in range(params.n):
+        eng.protocol_of(v).seed_known({(v + d) % params.n for d in range(1, 4)})
+    return eng
+
+
+def lemma3_demo() -> None:
+    print("=== Lemma 3: isolating a fresh node with up-to-date topology ===")
+    params = ProtocolParams(
+        n=32, alpha=0.5, kappa=1.5, seed=3,
+        churn_budget_override=64, churn_window_override=16,
+    )
+    adv = IsolateJoinAdversary(params, seed=4, topology_lateness=1)
+    eng = gossip_engine(params, adv)
+    eng.run(8)
+    print(f"  helper v = {adv.helper_id} joined, victim w = {adv.victim_id} joined via v")
+    eng.run(62)
+    knows = knowledge_graph_of_gossip(eng)
+    comp = component_of(knows, adv.victim_id)
+    print(f"  after {eng.round} rounds: victim's component = {sorted(comp)}")
+    print(f"  network connected: {is_connected(knows)}")
+    print(f"  every node w ever talked to was churned before it could act.\n")
+
+
+def lemma4_demo() -> None:
+    print("=== Lemma 4: the chain-of-joins attack ===")
+    params = ProtocolParams(
+        n=24, alpha=0.5, kappa=1.5, seed=5,
+        churn_budget_override=200, churn_window_override=10,
+    )
+
+    print("  -- weakened model: bootstraps may be 1 round old --")
+    adv = JoinChainAdversary(params, seed=6, erosion_batch=2)
+    eng = gossip_engine(params, adv, join_min_age=1)
+    eng.run(120)
+    knows = knowledge_graph_of_gossip(eng)
+    head = adv.chain_head
+    comp = component_of(knows, head)
+    print(f"  chain length {len(adv.chain)}, V_0 eroded: {adv.eroded_all(eng.alive)}")
+    print(f"  chain head {head}'s component: {sorted(comp)} (alone with its sponsor)")
+    print(f"  network connected: {is_connected(knows)}")
+
+    print("  -- proper model: bootstraps must be >= 2 rounds old --")
+    adv2 = JoinChainAdversary(params, seed=6)
+    eng2 = gossip_engine(params, adv2, join_min_age=2)
+    try:
+        eng2.run(120)
+        print("  (unexpected: attack was not rejected)")
+    except ChurnViolation as exc:
+        print(f"  attack rejected by the model: {exc}")
+
+
+if __name__ == "__main__":
+    lemma3_demo()
+    lemma4_demo()

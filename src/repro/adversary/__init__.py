@@ -1,0 +1,28 @@
+"""Adversaries: the (a,b)-late view, churn budget, and attack strategies."""
+
+from repro.adversary.base import Adversary, ChurnDecision, JoinRequest, NullAdversary
+from repro.adversary.budget import ChurnLedger, ChurnViolation
+from repro.adversary.content_late import ContentLateAdversary
+from repro.adversary.isolate_join import IsolateJoinAdversary
+from repro.adversary.join_chain import JoinChainAdversary
+from repro.adversary.oblivious import RandomChurnAdversary, paced_schedule
+from repro.adversary.swarm_wipe import ContactTraceAdversary, DegreeTargetAdversary
+from repro.adversary.view import AdversaryView, LatenessViolation
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "ChurnDecision",
+    "ChurnLedger",
+    "ChurnViolation",
+    "ContactTraceAdversary",
+    "ContentLateAdversary",
+    "DegreeTargetAdversary",
+    "IsolateJoinAdversary",
+    "JoinChainAdversary",
+    "JoinRequest",
+    "LatenessViolation",
+    "NullAdversary",
+    "RandomChurnAdversary",
+    "paced_schedule",
+]

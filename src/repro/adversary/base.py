@@ -1,0 +1,74 @@
+"""Adversary interface.
+
+At the start of every round the engine asks the adversary for a
+:class:`ChurnDecision` — which nodes leave (``O_t ⊆ V_{t-1}``) and which join
+(each with a bootstrap node from ``V_t ∩ V_{t-2}``).  The adversary only sees
+the world through an :class:`~repro.adversary.view.AdversaryView`, which
+clamps topology knowledge to ``a`` rounds of lateness, and every decision is
+validated against the churn budget before it is applied.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.adversary.view import AdversaryView
+
+__all__ = ["JoinRequest", "ChurnDecision", "Adversary", "NullAdversary"]
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """One new node joining via a bootstrap node."""
+
+    new_id: int
+    bootstrap_id: int
+
+
+@dataclass(frozen=True)
+class ChurnDecision:
+    """The adversary's action for one round."""
+
+    leaves: frozenset[int] = frozenset()
+    joins: tuple[JoinRequest, ...] = ()
+
+    @property
+    def churn_count(self) -> int:
+        """Join/leave events this decision spends from the budget."""
+        return len(self.leaves) + len(self.joins)
+
+    @staticmethod
+    def none() -> "ChurnDecision":
+        return ChurnDecision()
+
+
+class Adversary(abc.ABC):
+    """Base class for churn adversaries.
+
+    ``active_from`` implements the bootstrap phase: the engine does not
+    consult the adversary before that round.
+    """
+
+    def __init__(self, active_from: int = 0) -> None:
+        self.active_from = active_from
+
+    @abc.abstractmethod
+    def decide(self, view: "AdversaryView") -> ChurnDecision:
+        """Choose this round's churn given the (lateness-clamped) view."""
+
+    def notify_rejected(self, decision: ChurnDecision, reason: str) -> None:
+        """Called when a decision violated the budget and was discarded.
+
+        Well-behaved adversaries never trigger this; subclasses may override
+        to adapt.  The default is silent (the engine records the rejection).
+        """
+
+
+class NullAdversary(Adversary):
+    """No churn at all (useful for routing-only experiments)."""
+
+    def decide(self, view: "AdversaryView") -> ChurnDecision:
+        return ChurnDecision.none()

@@ -1,0 +1,139 @@
+"""Churn-budget enforcement — the model's constraints on the adversary.
+
+The engine validates every :class:`ChurnDecision` against:
+
+* **churn rate** ``(C, T)``: at most ``C = alpha*n`` join/leave events inside
+  any sliding window of ``T`` rounds (this implies the paper's stability
+  requirement ``|V_{t+T} ∩ V_t| >= (1 - alpha) n``);
+* **size bounds**: ``|V_t| in [n, kappa*n]`` after the decision is applied;
+* **leave validity**: only nodes of ``V_{t-1}`` can leave;
+* **join rule**: every bootstrap node must be in ``V_t ∩ V_{t-2}`` — it is
+  alive, at least 2 rounds old, and not itself leaving or joining this round
+  (Section 2 proves 2 rounds is necessary);
+* **join fan-in**: at most a constant number of joins per bootstrap node and
+  round;
+* **id freshness**: new ids must never have been used.
+
+A violating decision raises :class:`ChurnViolation`; the engine converts it
+into a no-op and notifies the adversary, so buggy attack strategies fail loud
+in tests but cannot crash long experiment runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import ChurnDecision
+from repro.config import ProtocolParams
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a sim <-> adversary import cycle
+    from repro.sim.identity import Lifecycle
+
+__all__ = ["ChurnViolation", "ChurnLedger"]
+
+
+class ChurnViolation(ValueError):
+    """A churn decision broke one of the model constraints."""
+
+
+class ChurnLedger:
+    """Sliding-window churn accounting plus structural validation."""
+
+    def __init__(self, params: ProtocolParams, join_min_age: int = 2) -> None:
+        if join_min_age < 1:
+            raise ValueError("join_min_age must be at least 1")
+        self.params = params
+        #: Minimum age (rounds) of a bootstrap node.  The model requires 2;
+        #: the Lemma 4 experiment relaxes it to 1 to show why 2 is necessary.
+        self.join_min_age = join_min_age
+        self._window: deque[tuple[int, int]] = deque()  # (round, churn_count)
+        self._spent_in_window = 0
+
+    # ------------------------------------------------------------------
+    # Budget queries
+    # ------------------------------------------------------------------
+
+    def _evict(self, t: int) -> None:
+        horizon = t - self.params.churn_window + 1
+        while self._window and self._window[0][0] < horizon:
+            _, count = self._window.popleft()
+            self._spent_in_window -= count
+
+    def remaining(self, t: int) -> int:
+        """Budget still available in the window ending at round ``t``."""
+        self._evict(t)
+        return max(0, self.params.churn_budget - self._spent_in_window)
+
+    # ------------------------------------------------------------------
+    # Validation + commit
+    # ------------------------------------------------------------------
+
+    def validate(
+        self, t: int, decision: ChurnDecision, lifecycle: "Lifecycle"
+    ) -> None:
+        """Raise :class:`ChurnViolation` if the decision is illegal at round ``t``."""
+        p = self.params
+        if decision.churn_count > self.remaining(t):
+            raise ChurnViolation(
+                f"round {t}: decision spends {decision.churn_count} churn events "
+                f"but only {self.remaining(t)} remain in the {p.churn_window}-round window"
+            )
+
+        alive = lifecycle.alive
+        for v in decision.leaves:
+            if v not in alive:
+                raise ChurnViolation(f"round {t}: cannot churn out {v}: not alive")
+
+        new_ids = [j.new_id for j in decision.joins]
+        if len(set(new_ids)) != len(new_ids):
+            raise ChurnViolation(f"round {t}: duplicate new ids in join set")
+        joining = set(new_ids)
+        fan_in: dict[int, int] = {}
+        for j in decision.joins:
+            if j.new_id in lifecycle.records:
+                raise ChurnViolation(
+                    f"round {t}: id {j.new_id} was already used; ids are immutable"
+                )
+            w = j.bootstrap_id
+            if w in joining:
+                raise ChurnViolation(
+                    f"round {t}: bootstrap {w} is itself joining this round"
+                )
+            if w in decision.leaves:
+                raise ChurnViolation(
+                    f"round {t}: bootstrap {w} is leaving this round"
+                )
+            if w not in alive:
+                raise ChurnViolation(f"round {t}: bootstrap {w} is not alive")
+            # V_t ∩ V_{t-2}: the bootstrap joined at round t-2 or earlier
+            # (t-1 in the deliberately weakened Lemma-4 configuration).
+            if lifecycle.joined_round(w) > t - self.join_min_age:
+                raise ChurnViolation(
+                    f"round {t}: bootstrap {w} joined at round "
+                    f"{lifecycle.joined_round(w)}; must be >= {self.join_min_age} "
+                    f"rounds old"
+                )
+            fan_in[w] = fan_in.get(w, 0) + 1
+            if fan_in[w] > p.max_joins_per_bootstrap:
+                raise ChurnViolation(
+                    f"round {t}: more than {p.max_joins_per_bootstrap} joins via {w}"
+                )
+
+        size_after = len(alive) - len(decision.leaves) + len(decision.joins)
+        if size_after < p.n:
+            raise ChurnViolation(
+                f"round {t}: decision would shrink the network to {size_after} < n={p.n}"
+            )
+        if size_after > p.max_nodes:
+            raise ChurnViolation(
+                f"round {t}: decision would grow the network to {size_after} "
+                f"> kappa*n={p.max_nodes}"
+            )
+
+    def commit(self, t: int, decision: ChurnDecision) -> None:
+        """Record an applied decision against the sliding window."""
+        self._evict(t)
+        if decision.churn_count:
+            self._window.append((t, decision.churn_count))
+            self._spent_in_window += decision.churn_count

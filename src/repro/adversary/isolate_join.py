@@ -1,0 +1,168 @@
+"""The Lemma 3 attack: isolate a freshly joined node with up-to-date topology.
+
+Strategy (Section 2, proof of Lemma 3), against *any* overlay protocol:
+
+1. Join a throwaway node ``v``.
+2. Two rounds later, join the victim ``w`` via ``v`` — at that moment only
+   ``v`` (and whoever ``v`` talks to) can know ``w``'s id.
+3. From then on, watch the topology and churn out every node that
+   communicates with ``w`` before it can pass ``w``'s id along, plus ``v``
+   itself.  Paired joins keep the population legal.
+
+With up-to-date topology knowledge (``topology_lateness <= 1`` — the newest
+complete round's edges), the id of ``w`` can never escape: every courier dies
+before acting, and once ``w``'s own contacts are gone it is disconnected.
+With the paper's 2-late adversary the couriers get one full round to spread
+``w``'s id — enough, for the LDS maintenance algorithm, to win forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import Adversary, ChurnDecision, JoinRequest
+from repro.adversary.view import AdversaryView
+from repro.config import ProtocolParams
+
+__all__ = ["IsolateJoinAdversary"]
+
+
+class IsolateJoinAdversary(Adversary):
+    """Scripted Lemma-3 isolation attack."""
+
+    state_lateness = 10**9  # fully oblivious of internal state
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        seed: int = 0,
+        *,
+        start_round: int = 4,
+        topology_lateness: int = 1,
+        erosion_batch: int = 3,
+    ) -> None:
+        super().__init__(active_from=start_round)
+        self.params = params
+        self.topology_lateness = topology_lateness
+        self.erosion_batch = erosion_batch
+        self.rng = np.random.default_rng(seed)
+        self.helper_id: int | None = None  # v
+        self.victim_id: int | None = None  # w
+        self.victim_join_round: int | None = None
+        self._hunted_through = -1
+        self._pending_victims: set[int] = set()
+        self.initial_population: frozenset[int] | None = None
+        self._remaining_v0: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def _paired_joins(
+        self,
+        view: AdversaryView,
+        count: int,
+        forbidden: frozenset[int],
+        avoid: frozenset[int] = frozenset(),
+    ) -> tuple[JoinRequest, ...]:
+        """Replacement joins via old nodes, preferring ones uninvolved with
+        the victim (``avoid``); falls back to involved ones, never to
+        ``forbidden`` (nodes dying this round or the victim itself)."""
+        eligible = view.eligible_bootstraps() - forbidden
+        preferred = sorted(eligible - avoid)
+        fallback = sorted(eligible & avoid)
+        self.rng.shuffle(preferred)
+        self.rng.shuffle(fallback)
+        pool = preferred + fallback
+        cap = self.params.max_joins_per_bootstrap
+        picked: list[int] = []
+        use_counts: dict[int, int] = {}
+        for w in pool * cap:
+            if len(picked) == count:
+                break
+            if use_counts.get(w, 0) < cap:
+                use_counts[w] = use_counts.get(w, 0) + 1
+                picked.append(w)
+        if len(picked) < count:
+            return ()
+        base = view.fresh_id()
+        return tuple(JoinRequest(base + i, int(w)) for i, w in enumerate(picked))
+
+    def eroded_all(self, view_alive: frozenset[int]) -> bool:
+        """Whether every original node has been churned out."""
+        return self.initial_population is not None and not (
+            self._remaining_v0 & set(view_alive)
+        )
+
+    def decide(self, view: AdversaryView) -> ChurnDecision:
+        t = view.round
+        if self.initial_population is None:
+            self.initial_population = frozenset(view.alive)
+            self._remaining_v0 = set(view.alive)
+
+        # Phase 1: join the helper v.
+        if self.helper_id is None:
+            boots = sorted(view.eligible_bootstraps())
+            if not boots:
+                return ChurnDecision.none()
+            self.helper_id = view.fresh_id()
+            w = int(self.rng.choice(boots))
+            return ChurnDecision(joins=(JoinRequest(self.helper_id, w),))
+
+        # Phase 2: two rounds later, join the victim w via v.
+        if self.victim_id is None:
+            if view.age_of(self.helper_id) < 2:
+                return ChurnDecision.none()
+            self.victim_id = view.fresh_id()
+            self.victim_join_round = t
+            return ChurnDecision(joins=(JoinRequest(self.victim_id, self.helper_id),))
+
+        # Phase 3a: hunt every node that communicates with w.  Couriers are
+        # killed before they receive (the up-to-date-topology advantage);
+        # victims that do not fit this round's budget stay pending.
+        newest = view.newest_visible_topology_round()
+        for s in range(
+            max(self._hunted_through + 1, self.victim_join_round), newest + 1
+        ):
+            self._pending_victims |= view.contacts_of(s, self.victim_id)
+        self._hunted_through = newest
+        if self.helper_id in view.alive:
+            self._pending_victims.add(self.helper_id)
+        self._pending_victims &= set(view.alive)
+        self._pending_victims.discard(self.victim_id)
+
+        # Kills must leave enough >=2-round-old bootstraps for the paired
+        # replacement joins: with fan-in cap ``c``, k kills need
+        # (E - k) * c >= k, i.e. k <= c*E/(c+1).
+        budget = view.budget_remaining or 0
+        eligible = view.eligible_bootstraps() - {self.victim_id}
+        cap = self.params.max_joins_per_bootstrap
+        k_max = min(budget // 2, (cap * len(eligible)) // (cap + 1))
+
+        kills: list[int] = sorted(self._pending_victims)[:k_max]
+
+        # Phase 3b: erode V_0 with leftover capacity (the proof's second
+        # strategy — w's own references all point into V_0-era nodes), at a
+        # modest pace so bootstrap supply never runs dry.
+        leftover = min(k_max - len(kills), self.erosion_batch)
+        if leftover > 0:
+            erodable = sorted(
+                (self._remaining_v0 & set(view.alive))
+                - set(kills)
+                - {self.victim_id}
+            )
+            self.rng.shuffle(erodable)
+            kills.extend(erodable[:leftover])
+
+        if not kills:
+            return ChurnDecision.none()
+        kill_set = frozenset(kills)
+        joins = self._paired_joins(
+            view,
+            len(kills),
+            forbidden=kill_set | {self.victim_id},
+            avoid=frozenset(self._pending_victims),
+        )
+        if len(joins) < len(kills):
+            return ChurnDecision.none()
+        self._pending_victims -= kill_set
+        self._remaining_v0 -= kill_set
+        return ChurnDecision(leaves=kill_set, joins=joins)

@@ -1,0 +1,122 @@
+"""The Lemma 4 attack: exploit joins via 1-round-old bootstrap nodes.
+
+This attack needs the *weakened* model in which a node that joined in round
+``t-1`` may already serve as a bootstrap in round ``t`` (run the engine with
+``join_min_age=1``).  The adversary is ``(∞, ∞)``-late — it never looks at
+the topology at all:
+
+1. **Chain strategy**: every round, join a new node via the previous chain
+   node and churn the previous-but-one chain node out.  Inductively, each
+   chain node's knowledge is a subset of ``D_1 ∪ {predecessor}`` where
+   ``D_1`` is whatever the very first bootstrap handed over — information
+   from the live network can never catch up with the chain's head.
+2. **Erosion strategy**: in parallel, churn out the original population
+   ``V_0`` batch by batch (with paired replacement joins elsewhere).
+
+Once all of ``V_0`` is gone, the chain head knows only dead nodes and nobody
+alive knows the chain head: the network is partitioned.  Under the proper
+model (bootstraps ≥ 2 rounds old) the same adversary cannot even take its
+first chain step — which is the point of the join rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import Adversary, ChurnDecision, JoinRequest
+from repro.adversary.view import AdversaryView
+from repro.config import ProtocolParams
+
+__all__ = ["JoinChainAdversary"]
+
+
+class JoinChainAdversary(Adversary):
+    """Scripted Lemma-4 chain-of-joins attack (oblivious to topology)."""
+
+    topology_lateness = 10**9  # never inspects the topology
+    state_lateness = 10**9
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        seed: int = 0,
+        *,
+        start_round: int = 4,
+        erosion_batch: int = 2,
+    ) -> None:
+        super().__init__(active_from=start_round)
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.erosion_batch = erosion_batch
+        self.chain: list[int] = []
+        self.initial_population: frozenset[int] | None = None
+        self._remaining_v0: set[int] = set()
+
+    @property
+    def chain_head(self) -> int | None:
+        return self.chain[-1] if self.chain else None
+
+    def eroded_all(self, alive: frozenset[int] | set[int]) -> bool:
+        """Whether every original node has been churned out."""
+        return self.initial_population is not None and not (
+            self._remaining_v0 & set(alive)
+        )
+
+    def decide(self, view: AdversaryView) -> ChurnDecision:
+        if self.initial_population is None:
+            self.initial_population = frozenset(view.alive)
+            self._remaining_v0 = set(view.alive)
+
+        leaves: set[int] = set()
+        joins: list[JoinRequest] = []
+        next_id = view.fresh_id()
+        budget = view.budget_remaining or 0
+
+        # --- Chain strategy -------------------------------------------
+        if budget >= 2:
+            if not self.chain:
+                boots = sorted(set(view.alive) & self._remaining_v0)
+                if boots:
+                    head = next_id
+                    next_id += 1
+                    joins.append(JoinRequest(head, int(self.rng.choice(boots))))
+                    self.chain.append(head)
+                    budget -= 1
+            else:
+                head = self.chain[-1]
+                if head in view.alive:
+                    new_head = next_id
+                    next_id += 1
+                    joins.append(JoinRequest(new_head, head))
+                    self.chain.append(new_head)
+                    budget -= 1
+                    # Kill the predecessor of the old head (the proof's
+                    # "churned out immediately after v_{i+1} joined").
+                    if len(self.chain) >= 3 and self.chain[-3] in view.alive:
+                        leaves.add(self.chain[-3])
+                        budget -= 1
+
+        # --- Erosion strategy ------------------------------------------
+        erode = sorted(self._remaining_v0 & set(view.alive))
+        self.rng.shuffle(erode)
+        # Replacement joins may bootstrap via any old node (including V_0 —
+        # replacements need not be isolated, only the chain head must be).
+        boots_pool = sorted(view.eligible_bootstraps() - set(self.chain))
+        for v in erode[: self.erosion_batch]:
+            if budget < 2:
+                break
+            # Each erosion kill is paired with a replacement join via a
+            # non-V0, non-chain node (if none exists yet, erosion waits).
+            boots_pool = [w for w in boots_pool if w != v and w not in leaves]
+            if not boots_pool:
+                break
+            leaves.add(v)
+            joins.append(JoinRequest(next_id, int(self.rng.choice(boots_pool))))
+            next_id += 1
+            budget -= 2
+
+        for v in leaves:
+            self._remaining_v0.discard(v)
+        if not leaves and not joins:
+            return ChurnDecision.none()
+        return ChurnDecision(leaves=frozenset(leaves), joins=tuple(joins))

@@ -1,0 +1,51 @@
+"""Analysis helpers: tail bounds, occupancy laws, connectivity, estimators."""
+
+from repro.analysis.balls_bins import (
+    expected_occupied_fraction,
+    min_r_for_occupancy,
+    occupied_bins_sample,
+    survival_fixpoint,
+)
+from repro.analysis.chernoff import (
+    deviation_for_failure_prob,
+    lower_tail,
+    min_mu_for_whp,
+    upper_tail,
+    whp_threshold,
+)
+from repro.analysis.connectivity import (
+    component_of,
+    components,
+    is_connected,
+    is_isolated,
+    knowledge_graph_of_gossip,
+)
+from repro.analysis.estimators import (
+    RateEstimate,
+    chi_square_uniform,
+    fit_log_power,
+    fit_power_law,
+    wilson_interval,
+)
+
+__all__ = [
+    "RateEstimate",
+    "chi_square_uniform",
+    "component_of",
+    "components",
+    "deviation_for_failure_prob",
+    "expected_occupied_fraction",
+    "fit_log_power",
+    "fit_power_law",
+    "is_connected",
+    "is_isolated",
+    "knowledge_graph_of_gossip",
+    "lower_tail",
+    "min_mu_for_whp",
+    "min_r_for_occupancy",
+    "occupied_bins_sample",
+    "survival_fixpoint",
+    "upper_tail",
+    "whp_threshold",
+    "wilson_interval",
+]

@@ -1,0 +1,81 @@
+"""Balls-into-bins occupancy laws — the machinery behind Lemma 11.
+
+Each forwarding step of A_ROUTING throws ``K ~ r * |holders|`` message copies
+(balls) uniformly into the next swarm's ``m`` members (bins); a bin that
+receives at least one ball "holds" the message.  The number of occupied bins
+is a sum of negatively associated indicators (Dubhashi & Ranjan), so Chernoff
+concentration applies — that is the whole proof of Lemma 11.  These helpers
+compute the exact occupancy law and the minimum ``r`` that keeps a target
+fraction of each swarm holding the message.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "expected_occupied_fraction",
+    "occupied_bins_sample",
+    "min_r_for_occupancy",
+    "survival_fixpoint",
+]
+
+
+def expected_occupied_fraction(balls: int, bins: int) -> float:
+    """``E[fraction of bins with >= 1 ball] = 1 - (1 - 1/m)^K``."""
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    if balls < 0:
+        raise ValueError("balls must be non-negative")
+    return 1.0 - (1.0 - 1.0 / bins) ** balls
+
+
+def occupied_bins_sample(
+    balls: int, bins: int, rng: np.random.Generator, trials: int = 1
+) -> np.ndarray:
+    """Monte-Carlo samples of the occupied-bin count."""
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    out = np.empty(trials, dtype=np.int64)
+    for i in range(trials):
+        hits = rng.integers(0, bins, size=balls)
+        out[i] = np.unique(hits).size
+    return out
+
+
+def min_r_for_occupancy(
+    holder_fraction: float, target_fraction: float
+) -> int:
+    """Smallest integer ``r`` with ``1 - exp(-r * holder_fraction) >= target``.
+
+    If a fraction ``h`` of the current swarm holds the message and each
+    holder sends ``r`` copies into a same-sized next swarm, the expected
+    occupied fraction is ``~ 1 - e^{-r h}``.  This inverts that map — the
+    quantitative version of the paper's "for a suitable r in Theta(1)".
+    """
+    if not 0.0 < holder_fraction <= 1.0:
+        raise ValueError("holder_fraction must lie in (0, 1]")
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError("target_fraction must lie in (0, 1)")
+    r = math.log(1.0 / (1.0 - target_fraction)) / holder_fraction
+    return max(1, math.ceil(r))
+
+
+def survival_fixpoint(r: int, good_fraction: float, iterations: int = 64) -> float:
+    """Steady-state holder fraction of the forward–handover recursion.
+
+    One step maps the holder fraction ``h`` to
+    ``g * (1 - e^{-r h})`` where ``g`` is the good (surviving) fraction of
+    each swarm.  The fixpoint tells whether a given ``(r, goodness)`` pair
+    sustains routing (fixpoint bounded away from 0) or collapses.
+    """
+    if r < 1:
+        raise ValueError("r must be at least 1")
+    if not 0.0 < good_fraction <= 1.0:
+        raise ValueError("good_fraction must lie in (0, 1]")
+    h = 1.0
+    for _ in range(iterations):
+        h = good_fraction * (1.0 - math.exp(-r * h))
+    return h

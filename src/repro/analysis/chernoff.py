@@ -1,0 +1,79 @@
+"""Chernoff tail bounds (Lemma 2) and the envelopes experiments check against.
+
+The paper's statements hold "w.h.p." — with probability ``1 - 1/n^k`` for a
+tunable ``k``.  Any finite simulation can only test such a claim
+statistically; these helpers compute the theoretical tails so experiments can
+assert "the observed deviation is within the Chernoff envelope" rather than
+eyeballing constants.
+
+For negatively associated (NA) 0/1 variables with sum ``X``, ``E[X] = mu``:
+
+    P[X >= (1+d) mu] <= exp(-d^2 mu / (2 + d))     (upper tail)
+    P[X <= (1-d) mu] <= exp(-d^2 mu / 2)           (lower tail)
+
+(we use the standard sharpened forms; the paper's Lemma 2 lists slightly
+looser exponents with typos — constants do not matter for any claim here).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "upper_tail",
+    "lower_tail",
+    "deviation_for_failure_prob",
+    "min_mu_for_whp",
+    "whp_threshold",
+]
+
+
+def upper_tail(mu: float, delta: float) -> float:
+    """``P[X >= (1 + delta) mu]`` bound for NA 0/1 sums."""
+    if mu < 0 or delta < 0:
+        raise ValueError("mu and delta must be non-negative")
+    if mu == 0 or delta == 0:
+        return 1.0
+    return math.exp(-(delta * delta) * mu / (2.0 + delta))
+
+
+def lower_tail(mu: float, delta: float) -> float:
+    """``P[X <= (1 - delta) mu]`` bound for NA 0/1 sums (``0 <= delta <= 1``)."""
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError("delta must lie in [0, 1] for the lower tail")
+    if mu == 0 or delta == 0:
+        return 1.0
+    return math.exp(-(delta * delta) * mu / 2.0)
+
+
+def deviation_for_failure_prob(mu: float, p_fail: float) -> float:
+    """The relative deviation ``delta`` whose lower-tail bound equals ``p_fail``.
+
+    Solves ``exp(-delta^2 mu / 2) = p_fail``; values > 1 mean the bound
+    cannot certify that failure probability at this expectation.
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    if not 0.0 < p_fail < 1.0:
+        raise ValueError("p_fail must lie in (0, 1)")
+    return math.sqrt(2.0 * math.log(1.0 / p_fail) / mu)
+
+
+def whp_threshold(n: int, k: int = 1) -> float:
+    """The failure probability budget ``1/n^k``."""
+    if n < 2 or k < 1:
+        raise ValueError("need n >= 2 and k >= 1")
+    return float(n) ** (-k)
+
+
+def min_mu_for_whp(n: int, k: int = 1, delta: float = 0.5) -> float:
+    """Smallest expectation at which a ``delta`` lower deviation is w.h.p.-rare.
+
+    This is the quantitative reason swarms have ``Theta(log n)`` members:
+    ``mu >= 2 k ln(n) / delta^2`` makes ``P[X <= (1-delta) mu] <= 1/n^k``.
+    """
+    if not 0.0 < delta <= 1.0:
+        raise ValueError("delta must lie in (0, 1]")
+    return 2.0 * k * math.log(n) / (delta * delta)

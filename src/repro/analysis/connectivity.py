@@ -1,0 +1,96 @@
+"""Knowledge-graph connectivity audits — the attack success criterion.
+
+An overlay is *partitioned* when some alive node cannot reach some other
+alive node through chains of "knows the id of" relations.  The Section-2
+attacks are judged by exactly this: after the attack, the victim's component
+of the knowledge graph must be separated from the rest.
+
+The knowledge graph is directed (``u`` knows ``v``'s id); for partition
+claims we use the *undirected* reachability closure — the weakest possible
+notion, which makes disconnection results the strongest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+__all__ = [
+    "components",
+    "is_connected",
+    "component_of",
+    "is_isolated",
+    "knowledge_graph_of_gossip",
+]
+
+
+def _undirected_adjacency(
+    knows: Mapping[int, set[int]]
+) -> dict[int, set[int]]:
+    nodes = set(knows)
+    adj: dict[int, set[int]] = {v: set() for v in nodes}
+    for u, targets in knows.items():
+        for v in targets:
+            if v in nodes and v != u:
+                adj[u].add(v)
+                adj[v].add(u)
+    return adj
+
+
+def components(knows: Mapping[int, set[int]]) -> list[set[int]]:
+    """Connected components of the undirected knowledge graph."""
+    adj = _undirected_adjacency(knows)
+    seen: set[int] = set()
+    out: list[set[int]] = []
+    for start in adj:
+        if start in seen:
+            continue
+        comp = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    comp.add(v)
+                    queue.append(v)
+        out.append(comp)
+    return out
+
+
+def is_connected(knows: Mapping[int, set[int]]) -> bool:
+    """Whether all alive nodes form one component (empty/singleton: True)."""
+    return len(components(knows)) <= 1
+
+
+def component_of(knows: Mapping[int, set[int]], v: int) -> set[int]:
+    """The component containing ``v``."""
+    for comp in components(knows):
+        if v in comp:
+            return comp
+    raise KeyError(f"node {v} not in graph")
+
+
+def is_isolated(knows: Mapping[int, set[int]], v: int, max_size: int = 1) -> bool:
+    """Whether ``v``'s component has at most ``max_size`` members.
+
+    Lemma 3's success criterion uses ``max_size=1`` (the victim alone);
+    Lemma 4's uses ``max_size=2`` (the chain head plus the node that just
+    joined via it).
+    """
+    return len(component_of(knows, v)) <= max_size
+
+
+def knowledge_graph_of_gossip(engine) -> dict[int, set[int]]:
+    """Extract the knowledge graph from a gossip-baseline engine run.
+
+    Only alive nodes appear; 'knows' edges to dead nodes are dropped (a dead
+    reference cannot carry a message).
+    """
+    alive = set(engine.alive)
+    out: dict[int, set[int]] = {}
+    for v in alive:
+        node = engine.protocol_of(v)
+        out[v] = set(node.known) & alive
+    return out

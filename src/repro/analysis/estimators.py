@@ -1,0 +1,107 @@
+"""Statistical estimators used by the experiment harness.
+
+* Wilson score intervals for empirical failure/delivery rates;
+* a chi-square uniformity test (for Lemma 13's sampling uniformity);
+* a log–log scaling-exponent fit (for congestion-vs-n sweeps, Lemma 24).
+
+SciPy is used when available (it is listed as a dev dependency); the
+chi-square p-value falls back to a normal approximation otherwise so the
+core library stays NumPy-only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RateEstimate",
+    "wilson_interval",
+    "chi_square_uniform",
+    "fit_power_law",
+    "fit_log_power",
+]
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """An empirical rate with a 95% Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    rate: float
+    lo: float
+    hi: float
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> RateEstimate:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return RateEstimate(
+        successes=successes,
+        trials=trials,
+        rate=p,
+        lo=max(0.0, center - half),
+        hi=min(1.0, center + half),
+    )
+
+
+def chi_square_uniform(counts: np.ndarray) -> tuple[float, float]:
+    """Chi-square test statistic and p-value against the uniform law."""
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 1 or counts.size < 2:
+        raise ValueError("need a 1-d array with at least 2 cells")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("counts must not be all zero")
+    expected = total / counts.size
+    stat = float(((counts - expected) ** 2 / expected).sum())
+    dof = counts.size - 1
+    try:
+        from scipy import stats
+
+        pvalue = float(stats.chi2.sf(stat, dof))
+    except ImportError:  # pragma: no cover - scipy present in dev envs
+        # Wilson–Hilferty normal approximation to the chi-square tail.
+        z = ((stat / dof) ** (1.0 / 3.0) - (1 - 2.0 / (9 * dof))) / math.sqrt(
+            2.0 / (9 * dof)
+        )
+        pvalue = float(0.5 * math.erfc(z / math.sqrt(2.0)))
+    return stat, pvalue
+
+
+def fit_power_law(xs: np.ndarray, ys: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit of ``y = a * x^b`` in log–log space: returns (a, b)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("need matching arrays with at least 2 points")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("power-law fit needs positive data")
+    b, log_a = np.polyfit(np.log(xs), np.log(ys), 1)
+    return float(math.exp(log_a)), float(b)
+
+
+def fit_log_power(ns: np.ndarray, ys: np.ndarray) -> tuple[float, float]:
+    """Fit ``y = a * (log2 n)^b`` — the natural model for polylog claims.
+
+    Lemma 24 predicts per-node congestion ``Theta(log^3 n)``; the fitted
+    exponent ``b`` should sit near 3 (and, critically, the *same* ``a``
+    should explain every n — unlike a polynomial-in-n model).
+    """
+    ns = np.asarray(ns, dtype=float)
+    logs = np.log2(ns)
+    return fit_power_law(logs, np.asarray(ys, dtype=float))

@@ -1,0 +1,6 @@
+"""Baseline overlays the adversaries defeat (contrast for the contribution)."""
+
+from repro.baselines.committees import CommitteeOverlay, CommitteeRoutingOutcome
+from repro.baselines.gossip import GossipNode, PeerSample
+
+__all__ = ["CommitteeOverlay", "CommitteeRoutingOutcome", "GossipNode", "PeerSample"]

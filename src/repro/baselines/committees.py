@@ -1,0 +1,204 @@
+"""A SPARTAN-style committee overlay — the structured baseline of Table 1.
+
+SPARTAN (Augustine & Sivasubramaniam, row [2] of Table 1) maintains a
+*static* virtual topology — a butterfly whose virtual nodes are simulated by
+committees of ``Theta(log n)`` real nodes; churned-in nodes refill
+committees, but the committee structure itself never moves.  That design
+tolerates an ``O(log log n)``-late adversary at high churn; the paper's
+pitch is that it cannot survive a *2-late* one, because a static structure
+lets stale topology knowledge stay actionable.
+
+We implement the essential mechanism at the paper's level of abstraction: a
+virtual De Bruijn ring of ``m`` supernodes, each simulated by a committee;
+virtual edges ``i -> 2i mod m`` and ``i -> 2i+1 mod m`` plus ring edges;
+committee-to-committee routing with ``r`` copies per hop; joiners assigned
+to the currently smallest committee (SPARTAN's rebalancing, idealised in the
+baseline's favour).
+
+Two facts are then measurable (experiment E-X6):
+
+* against **random** churn the committee overlay is exactly as robust as the
+  LDS — redundancy is redundancy;
+* against a **2-late committee-wipe** adversary it dies: committee
+  membership changes only via churn, so 2-rounds-stale topology still
+  identifies today's committee, and one wiped committee severs every
+  virtual route through it *permanently* — there is no next overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CommitteeRoutingOutcome", "CommitteeOverlay"]
+
+
+@dataclass
+class CommitteeRoutingOutcome:
+    """Fate of one committee-routed message."""
+
+    msg_id: int
+    origin_committee: int
+    target_committee: int
+    delivered_round: int | None = None
+    failed: bool = False
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_round is not None
+
+
+class CommitteeOverlay:
+    """A static virtual De Bruijn ring simulated by committees."""
+
+    def __init__(
+        self,
+        n: int,
+        committee_size: int,
+        *,
+        r: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if committee_size < 2:
+            raise ValueError("committee_size must be at least 2")
+        self.rng = np.random.default_rng(seed)
+        self.m = max(2, n // committee_size)
+        self.r = r
+        self.alive: set[int] = set(range(n))
+        self._next_id = n
+        # committee index -> set of member node ids (static virtual slots).
+        self.committees: list[set[int]] = [set() for _ in range(self.m)]
+        self.home: dict[int, int] = {}
+        for v in range(n):
+            self._assign(v, v % self.m)
+        self.round = 0
+        # msg_id -> (outcome, virtual path remaining, holder set)
+        self._inflight: dict[int, tuple[CommitteeRoutingOutcome, list[int], set[int]]] = {}
+        self.outcomes: dict[int, CommitteeRoutingOutcome] = {}
+        self._next_msg = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _assign(self, v: int, committee: int) -> None:
+        self.committees[committee].add(v)
+        self.home[v] = committee
+
+    def committee_of(self, v: int) -> int:
+        return self.home[v]
+
+    def members(self, committee: int) -> set[int]:
+        return self.committees[committee] & self.alive
+
+    def smallest_committee(self) -> int:
+        sizes = [len(self.members(i)) for i in range(self.m)]
+        return int(np.argmin(sizes))
+
+    def kill(self, node_ids: Iterable[int]) -> None:
+        self.alive.difference_update(int(v) for v in node_ids)
+
+    def join(self, count: int = 1) -> list[int]:
+        """SPARTAN-style rebalancing: newcomers refill the thinnest committee."""
+        out = []
+        for _ in range(count):
+            v = self._next_id
+            self._next_id += 1
+            self.alive.add(v)
+            self._assign(v, self.smallest_committee())
+            out.append(v)
+        return out
+
+    def committee_sizes(self) -> list[int]:
+        return [len(self.members(i)) for i in range(self.m)]
+
+    # ------------------------------------------------------------------
+    # Virtual topology
+    # ------------------------------------------------------------------
+
+    def virtual_neighbors(self, committee: int) -> tuple[int, ...]:
+        m = self.m
+        return (
+            (committee + 1) % m,
+            (committee - 1) % m,
+            (2 * committee) % m,
+            (2 * committee + 1) % m,
+        )
+
+    def virtual_path(self, src: int, dst: int) -> list[int]:
+        """BFS over the virtual graph (committees are few; this is cheap)."""
+        if src == dst:
+            return [src]
+        from collections import deque
+
+        prev: dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for w in self.virtual_neighbors(u):
+                if w not in prev:
+                    prev[w] = u
+                    if w == dst:
+                        path = [w]
+                        while path[-1] != src:
+                            path.append(prev[path[-1]])
+                        return list(reversed(path))
+                    queue.append(w)
+        raise RuntimeError("virtual graph disconnected")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Routing (committee-to-committee, r copies per hop)
+    # ------------------------------------------------------------------
+
+    def send(self, origin: int, target_committee: int) -> int:
+        if origin not in self.alive:
+            raise ValueError(f"origin {origin} is not alive")
+        msg_id = self._next_msg
+        self._next_msg += 1
+        src = self.committee_of(origin)
+        path = self.virtual_path(src, target_committee)
+        outcome = CommitteeRoutingOutcome(msg_id, src, target_committee)
+        self.outcomes[msg_id] = outcome
+        # The origin hands the message to its whole committee first.
+        holders = set(self.members(src))
+        if not holders:
+            outcome.failed = True
+            return msg_id
+        self._inflight[msg_id] = (outcome, path[1:], holders)
+        return msg_id
+
+    def step(self) -> None:
+        done = []
+        for msg_id, (outcome, path, holders) in self._inflight.items():
+            holders &= self.alive
+            if not holders:
+                outcome.failed = True
+                done.append(msg_id)
+                continue
+            if not path:
+                outcome.delivered_round = self.round
+                done.append(msg_id)
+                continue
+            nxt = path.pop(0)
+            members = sorted(self.members(nxt))
+            new_holders: set[int] = set()
+            if members:
+                for _ in holders:
+                    picks = self.rng.choice(members, size=self.r)
+                    new_holders.update(int(w) for w in picks)
+            if not new_holders:
+                outcome.failed = True
+                done.append(msg_id)
+                continue
+            self._inflight[msg_id] = (outcome, path, new_holders)
+        for msg_id in done:
+            self._inflight.pop(msg_id, None)
+        self.round += 1
+
+    def run_until_quiet(self, max_rounds: int = 10_000) -> None:
+        for _ in range(max_rounds):
+            if not self._inflight:
+                return
+            self.step()

@@ -1,0 +1,72 @@
+"""A naive unstructured gossip overlay — the victim of the Section 2 attacks.
+
+Each node keeps a ``known`` set of peer ids.  Every round it sends a sample
+of its known set to a few random known peers, who merge it.  A newcomer is
+introduced by its bootstrap node: the bootstrap tells the newcomer about a
+sample of its own contacts and announces the newcomer to them.
+
+This is a perfectly reasonable overlay against *random* churn, and exactly
+the kind of protocol Lemmas 3 and 4 disconnect: its communication pattern
+reveals, in the very round it happens, who knows a freshly joined node — so
+an adversary with (near) up-to-date topology knowledge can erase every node
+that ever learns the newcomer's id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import EngineServices, JoinNotice, NodeContext, NodeProtocol
+
+__all__ = ["PeerSample", "GossipNode"]
+
+
+@dataclass(frozen=True)
+class PeerSample:
+    """A gossip payload: some peer ids the sender knows."""
+
+    peers: tuple[int, ...]
+
+
+class GossipNode(NodeProtocol):
+    """One node of the naive gossip overlay."""
+
+    #: How many peers each gossip message carries.
+    SAMPLE_SIZE = 4
+    #: How many random known peers are gossiped to per round.
+    FANOUT = 2
+
+    def __init__(self, node_id: int, services: EngineServices) -> None:
+        self.id = node_id
+        self.known: set[int] = set()
+
+    def seed_known(self, peers: set[int]) -> None:
+        """Install the initial contact set (bootstrap-phase wiring)."""
+        self.known = set(peers) - {self.id}
+
+    def on_round(self, ctx: NodeContext) -> None:
+        for src, msg in ctx.inbox:
+            if isinstance(msg, PeerSample):
+                self.known.update(msg.peers)
+                if src >= 0:
+                    self.known.add(src)
+            elif isinstance(msg, JoinNotice):
+                # Introduce the newcomer both ways.
+                sample = self._sample(ctx, self.SAMPLE_SIZE)
+                ctx.send(msg.new_id, PeerSample(tuple(sample | {self.id})))
+                for w in sample:
+                    ctx.send(w, PeerSample((msg.new_id,)))
+        self.known.discard(self.id)
+        # Gossip a sample of the known set to a few random known peers.
+        if self.known:
+            targets = self._sample(ctx, self.FANOUT)
+            payload = PeerSample(tuple(self._sample(ctx, self.SAMPLE_SIZE)))
+            for w in targets:
+                ctx.send(w, payload)
+
+    def _sample(self, ctx: NodeContext, count: int) -> set[int]:
+        peers = sorted(self.known)
+        if len(peers) <= count:
+            return set(peers)
+        picks = ctx.rng.choice(peers, size=count, replace=False)
+        return {int(w) for w in picks}

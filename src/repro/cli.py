@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List every registered experiment with its title.
+``run E-ID [E-ID ...] [--full] [--seed S]``
+    Run experiments and print their tables; exits non-zero on FAIL.
+``report [--full] [--out PATH]``
+    Run the whole suite in artefact order and write a markdown report.
+``params N [--c C] [--r R] ...``
+    Print the derived protocol parameters for a network size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ProtocolParams
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments
+    from repro.experiments.report import DEFAULT_ORDER
+
+    import importlib
+
+    registry = all_experiments()
+    for eid in DEFAULT_ORDER:
+        fn = registry[eid]
+        doc = fn.__doc__ or importlib.import_module(fn.__module__).__doc__ or ""
+        title = doc.strip().splitlines()[0] if doc.strip() else ""
+        print(f"{eid:>6}  {title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import get_experiment
+
+    failed = False
+    for eid in args.ids:
+        try:
+            fn = get_experiment(eid)
+        except KeyError:
+            print(f"unknown experiment {eid!r}; try `python -m repro list`")
+            return 2
+        kwargs = {"quick": not args.full}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = fn(**kwargs)
+        print(result.to_table())
+        print()
+        failed = failed or not result.passed
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_report, run_all, write_report
+
+    results = run_all(quick=not args.full, progress=True)
+    if args.out:
+        path = write_report(args.out, results)
+        print(f"wrote {path}")
+    else:
+        print(render_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.c is not None:
+        kwargs["c"] = args.c
+    if args.r is not None:
+        kwargs["r"] = args.r
+    if args.alpha is not None:
+        kwargs["alpha"] = args.alpha
+    params = ProtocolParams(n=args.n, **kwargs)
+    width = max(len(k) for k in params.describe())
+    for key, value in params.describe().items():
+        print(f"{key:>{width}}: {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Always be Two Steps Ahead of Your Enemy'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    p_run = sub.add_parser("run", help="run experiments by id")
+    p_run.add_argument("ids", nargs="+", metavar="E-ID")
+    p_run.add_argument("--full", action="store_true", help="full-size sweeps")
+    p_run.add_argument("--seed", type=int, default=None)
+
+    p_rep = sub.add_parser("report", help="run all experiments, emit markdown")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.add_argument("--out", default=None)
+
+    p_par = sub.add_parser("params", help="show derived parameters for n")
+    p_par.add_argument("n", type=int)
+    p_par.add_argument("--c", type=float, default=None)
+    p_par.add_argument("--r", type=int, default=None)
+    p_par.add_argument("--alpha", type=float, default=None)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "params": _cmd_params,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's main contribution: the 2-round overlay maintenance protocol."""
+
+from repro.core.bootstrap import prime_initial_overlay
+from repro.core.construction import (
+    ConstructionNode,
+    build_initial_overlay_distributed,
+    construction_schedule,
+)
+from repro.core.dht import DhtResponse, DHTNode, StashTransfer, key_point
+from repro.core.messages import (
+    ConnectMsg,
+    CreateBatch,
+    JoinBatch,
+    JoinRecord,
+    TokenGrant,
+    TokenMsg,
+)
+from repro.core.node import MaintenanceNode, Phase
+from repro.core.runner import MaintenanceSimulation, OverlayAudit, ProbeReport
+
+__all__ = [
+    "ConnectMsg",
+    "ConstructionNode",
+    "DHTNode",
+    "DhtResponse",
+    "StashTransfer",
+    "CreateBatch",
+    "JoinBatch",
+    "JoinRecord",
+    "MaintenanceNode",
+    "MaintenanceSimulation",
+    "OverlayAudit",
+    "Phase",
+    "ProbeReport",
+    "TokenGrant",
+    "TokenMsg",
+    "build_initial_overlay_distributed",
+    "construction_schedule",
+    "key_point",
+    "prime_initial_overlay",
+]

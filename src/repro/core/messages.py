@@ -1,0 +1,80 @@
+"""Message types of the maintenance protocol (Listings 3 and 4).
+
+All payloads are immutable so multicasts can share one instance.
+
+* :class:`JoinRecord` — "node ``v`` will sit at position ``pos`` in overlay
+  epoch ``epoch``"; the content of a ``JOIN`` message.
+* :class:`JoinBatch` — the even-round rebroadcast of freshly delivered join
+  records to the current holders of the three Definition-5 neighbourhoods
+  (Listing 3, line 10).  Receivers store them as handover records ``H``.
+* :class:`CreateBatch` — odd-round matchmaking introductions: "these nodes
+  are your neighbours in the next overlay" (Listing 3, ``CREATE``).
+* :class:`TokenMsg` — a token travelling *directly* (step 3 of A_RANDOM's
+  distribution: mature node forwards a sampled token to a connected fresh
+  node).  Tokens inside A_ROUTING travel as routed payloads instead.
+* :class:`ConnectMsg` — ``CONNECT(v)``: request to register fresh node ``v``
+  in one of the receiver's ``2*delta`` slots.
+* :class:`TokenGrant` — the bootstrap handshake: a node supplies a newcomer
+  with its first tokens (Listing 4, "Upon v joining").
+
+Routed payloads (carried inside :class:`repro.routing.messages.RoutedMessage`)
+are tagged tuples: ``("join", JoinRecord)``, ``("token", owner_id)`` and
+``("probe", probe_id)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "JoinRecord",
+    "JoinBatch",
+    "CreateBatch",
+    "TokenMsg",
+    "ConnectMsg",
+    "TokenGrant",
+]
+
+
+@dataclass(frozen=True)
+class JoinRecord:
+    """A node's position in an upcoming overlay epoch."""
+
+    node: int
+    pos: float
+    epoch: int
+
+
+@dataclass(frozen=True)
+class JoinBatch:
+    """Rebroadcast of join records to a current-overlay neighbour."""
+
+    records: tuple[JoinRecord, ...]
+
+
+@dataclass(frozen=True)
+class CreateBatch:
+    """Introductions: the receiver's neighbours in the records' epoch."""
+
+    records: tuple[JoinRecord, ...]
+
+
+@dataclass(frozen=True)
+class TokenMsg:
+    """A token (= the id of a mature node willing to be contacted)."""
+
+    owner: int
+
+
+@dataclass(frozen=True)
+class ConnectMsg:
+    """Register fresh node ``node`` with the receiver (fills a slot)."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class TokenGrant:
+    """Initial token supply handed to a newly joined node."""
+
+    tokens: tuple[int, ...]

@@ -1,0 +1,573 @@
+"""The full maintenance protocol node: A_LDS ∥ A_RANDOM ∥ A_ROUTING.
+
+Every node runs this state machine on the synchronous engine.  The protocol
+rebuilds the entire overlay every two rounds (Section 5); the choreography —
+reconstructed from Listings 1, 3 and 4 plus the analysis, with the paper's
+indexing slips normalised (see DESIGN.md §5) — is:
+
+**Epochs.**  Overlay ``D_e`` is current during rounds ``2e`` and ``2e+1``.
+A node's position in ``D_e`` is ``h(v, e)`` for the shared keyed hash ``h``
+the adversary cannot evaluate.
+
+**Join pipeline.**  At every even round ``2s`` each established node launches
+(for itself and, as a sponsor, for each fresh node registered in its slots) a
+routed ``JOIN`` carrying the position for epoch ``s + lam + 2``:
+
+    launch (even 2s) → initial multicast (odd) → lam+1 forwarding steps
+    interleaved with handovers → arrival at the target region at even round
+    ``2s + 2lam + 2`` → **rebroadcast** of the record to the current holders
+    of the three Definition-5 arcs (JoinBatch, arrives odd) → **matchmaking**
+    (CreateBatch introductions, sent odd, arrive even) → **cutover**: at round
+    ``2(s + lam + 2)`` every node of ``D_{s+lam+2}`` knows its neighbourhood.
+
+**Round parities.**
+* *Even rounds*: cutover (CreateBatch → new ``D`` neighbourhood); forwarding
+  of in-flight hops (handover outputs received this round) one trajectory
+  step; ``k = lam`` join hops are rebroadcast, other ``k = lam`` hops become
+  the full-target-swarm delivery multicast; launch of joins and tokens;
+  fresh nodes spend tokens on ``CONNECT``s; slots are then reset.
+* *Odd rounds*: JoinBatches are stored as handover records ``H``; in-flight
+  hops (forwarding outputs) are handed over to the next overlay's swarms
+  using ``H``; initial multicasts of newly launched messages; matchmaking
+  CreateBatches; final deliveries (hops at step ``lam+1``) are consumed —
+  probes are recorded, tokens pass the A_SAMPLING rank test and are then
+  kept or forwarded to a random slot-registered fresh node.
+
+**Bootstrap.**  Before the first join wave lands (epochs ``< lam+2``) there
+are no handover records; nodes stay in the primed ``D_0`` and hand hops over
+within it.  This matches the paper's "nodes perform nothing in the odd
+rounds" bootstrap behaviour while keeping the copy-refresh redundancy.
+
+**Failure recovery** (beyond the paper): an established node whose cutover
+records fail to arrive demotes itself to FRESH and re-joins through the
+token machinery instead of silently falling out of the overlay.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+from repro.config import ProtocolParams
+from repro.core.messages import (
+    ConnectMsg,
+    CreateBatch,
+    JoinBatch,
+    JoinRecord,
+    TokenGrant,
+    TokenMsg,
+)
+from repro.overlay.lds import required_neighbor_arcs
+from repro.overlay.positions import PositionIndex
+from repro.routing.messages import Hop, RoutedMessage, make_routed_message
+from repro.sim.engine import EngineServices, JoinNotice, NodeContext, NodeProtocol
+
+__all__ = ["Phase", "MaintenanceNode"]
+
+
+class Phase(enum.Enum):
+    """Lifecycle phase of a protocol node."""
+
+    NEW = "new"  # just joined; waiting for the bootstrap token grant
+    FRESH = "fresh"  # connects to mature sponsors every cycle
+    ESTABLISHED = "established"  # member of the current overlay
+
+
+# How many rounds a token stays usable.  The paper discards unused tokens
+# every round; we keep them for two 2-round cycles so the pipeline tolerates
+# parity offsets (a constant-factor relaxation, see DESIGN.md §5).
+TOKEN_TTL = 4
+
+
+class MaintenanceNode(NodeProtocol):
+    """Per-node state machine of the maintenance protocol."""
+
+    def __init__(self, node_id: int, services: EngineServices) -> None:
+        self.id = node_id
+        self.params: ProtocolParams = services.params
+        self.hash = services.position_hash
+        # Hot-path caches (property lookups dominate otherwise).
+        self._swarm_radius = services.params.swarm_radius
+        self._r = services.params.r
+        self._lam = services.params.lam
+        self.phase = Phase.NEW
+        # --- A_LDS state -------------------------------------------------
+        self.epoch: int | None = None
+        self.pos: float | None = None
+        self.d_nbrs: dict[int, float] = {}
+        self._d_index: PositionIndex | None = None
+        self.h_records: dict[int, JoinRecord] = {}
+        self._pending_launch: list[RoutedMessage] = []
+        # --- A_RANDOM state ----------------------------------------------
+        self.tokens: list[tuple[int, int]] = []  # (expiry round, owner id)
+        self.slots: list[int | None] = [None] * (2 * self.params.delta_eff)
+        # --- Application-level deliveries and diagnostics -----------------
+        self.delivered: list[tuple[object, int]] = []  # (payload, round)
+        self.sampled_tokens_seen = 0
+        self.connects_received = 0
+        self.connects_dropped = 0
+        self.max_connects_in_round = 0
+        self.demotions = 0
+        self.joins_launched = 0
+        self._queued_probes: list[tuple[object, float]] = []
+        # Epoch at which this node (re-)entered the overlay; sponsors must
+        # keep launching joins for it until its own pipeline fills (lam+2
+        # epochs later), so it keeps CONNECTing until then.
+        self._first_epoch: int | None = None
+        # Newcomers whose token grant is still owed (token pool was dry).
+        self._pending_grants: dict[int, int] = {}  # node id -> expiry round
+
+    # ------------------------------------------------------------------
+    # Priming (bootstrap phase, Section 5: D_0 built churn-free via [14])
+    # ------------------------------------------------------------------
+
+    def prime(self, epoch: int, pos: float, neighbors: dict[int, float]) -> None:
+        """Install the bootstrap overlay neighbourhood directly."""
+        self.phase = Phase.ESTABLISHED
+        self.epoch = epoch
+        self.pos = pos
+        self.d_nbrs = dict(neighbors)
+        self._d_index = None
+        # Primed nodes have no pipeline gap (the bootstrap phase is
+        # churn-free, so the missing early epochs never cut over).
+        self._first_epoch = -(10**6)
+
+    # ------------------------------------------------------------------
+    # Public API used by the runner
+    # ------------------------------------------------------------------
+
+    def queue_probe(self, probe_id: object, target: float) -> None:
+        """Ask this node to route a probe to ``S(target)`` (audit traffic)."""
+        self._queued_probes.append((probe_id, target))
+
+    @property
+    def is_established(self) -> bool:
+        return self.phase is Phase.ESTABLISHED
+
+    # ------------------------------------------------------------------
+    # Lazy neighbourhood indexes
+    # ------------------------------------------------------------------
+
+    def _d_members(self) -> PositionIndex:
+        """Current-overlay neighbourhood (self included) as a position index."""
+        if self._d_index is None:
+            table = dict(self.d_nbrs)
+            if self.pos is not None:
+                table[self.id] = self.pos
+            self._d_index = PositionIndex(table)
+        return self._d_index
+
+    def _swarm_from(self, index: PositionIndex, point: float):
+        """Member ids of ``S(point)`` in the given index (ndarray view)."""
+        return index.ids_within(point, self._swarm_radius)
+
+    # ------------------------------------------------------------------
+    # Round dispatch
+    # ------------------------------------------------------------------
+
+    def on_round(self, ctx: NodeContext) -> None:
+        creates: list[CreateBatch] = []
+        join_batches: list[JoinBatch] = []
+        hops: list[Hop] = []
+        token_msgs: list[TokenMsg] = []
+        connects: list[ConnectMsg] = []
+        grants: list[TokenGrant] = []
+        notices: list[JoinNotice] = []
+        for _, msg in ctx.inbox:
+            if isinstance(msg, Hop):
+                hops.append(msg)
+            elif isinstance(msg, CreateBatch):
+                creates.append(msg)
+            elif isinstance(msg, JoinBatch):
+                join_batches.append(msg)
+            elif isinstance(msg, TokenMsg):
+                token_msgs.append(msg)
+            elif isinstance(msg, ConnectMsg):
+                connects.append(msg)
+            elif isinstance(msg, TokenGrant):
+                grants.append(msg)
+            elif isinstance(msg, JoinNotice):
+                notices.append(msg)
+
+        self._absorb_tokens(ctx, token_msgs, grants)
+        self._fill_slots(ctx, connects)
+
+        if ctx.round % 2 == 0:
+            self._even_round(ctx, creates, hops)
+        else:
+            self._odd_round(ctx, join_batches, hops)
+
+        # Bootstrap duties are parity-independent: the notice arrives in the
+        # join round and must be answered as soon as tokens allow (the
+        # newcomer knows nobody until the grant lands).
+        for notice in notices:
+            self._handle_join_notice(ctx, notice)
+        if not notices:
+            self._serve_pending_grants(ctx)
+
+        self._expire_tokens(ctx.round)
+
+    # ------------------------------------------------------------------
+    # A_RANDOM plumbing shared by both parities
+    # ------------------------------------------------------------------
+
+    def _absorb_tokens(
+        self, ctx: NodeContext, token_msgs: list[TokenMsg], grants: list[TokenGrant]
+    ) -> None:
+        expiry = ctx.round + TOKEN_TTL
+        for tm in token_msgs:
+            self.tokens.append((expiry, tm.owner))
+        for grant in grants:
+            for owner in grant.tokens:
+                self.tokens.append((expiry, owner))
+            if self.phase is Phase.NEW:
+                self.phase = Phase.FRESH
+
+    def _fill_slots(self, ctx: NodeContext, connects: list[ConnectMsg]) -> None:
+        if len(connects) > self.max_connects_in_round:
+            self.max_connects_in_round = len(connects)
+        for cm in connects:
+            self.connects_received += 1
+            if cm.node in self.slots:
+                continue  # already registered this cycle
+            empty = [i for i, s in enumerate(self.slots) if s is None]
+            if not empty:
+                self.connects_dropped += 1
+                continue
+            i = int(ctx.rng.choice(empty))
+            self.slots[i] = cm.node
+
+    def _expire_tokens(self, t: int) -> None:
+        self.tokens = [(exp, owner) for exp, owner in self.tokens if exp > t]
+        cap = 6 * self.params.delta_eff
+        if len(self.tokens) > cap:
+            self.tokens = self.tokens[-cap:]
+
+    def _take_tokens(self, ctx: NodeContext, count: int) -> list[int]:
+        """Up to ``count`` distinct token owners, u.a.r.
+
+        Tokens are sampled, not consumed — they expire via their TTL instead.
+        (The paper discards tokens after one round but also assumes a
+        Theta(log n) token flow with generous constants; reuse inside the
+        short TTL window keeps small-n runs supplied without changing what
+        the adversary can learn.)
+        """
+        owners = list({owner for _, owner in self.tokens if owner != self.id})
+        if not owners:
+            return []
+        ctx.rng.shuffle(owners)
+        return owners[:count]
+
+    def _handle_join_notice(self, ctx: NodeContext, notice: JoinNotice) -> None:
+        """Bootstrap duty (Listing 4, "Upon v joining")."""
+        self._pending_grants[notice.new_id] = ctx.round + 4 * self.params.lam
+        self._serve_pending_grants(ctx)
+
+    def _serve_pending_grants(self, ctx: NodeContext) -> None:
+        """Supply owed newcomers with tokens + CONNECTs (retry while dry)."""
+        if not self._pending_grants:
+            return
+        delta = self.params.delta_eff
+        served: list[int] = []
+        for v, expiry in self._pending_grants.items():
+            if ctx.round > expiry:
+                served.append(v)  # newcomer churned or hopeless; give up
+                continue
+            connect_targets = self._take_tokens(ctx, delta)
+            grant_tokens = self._take_tokens(ctx, delta)
+            if len(grant_tokens) < delta:
+                # Fall back to current-overlay neighbours (mature by
+                # construction).  Documented deviation — keeps joins during
+                # token droughts alive.
+                backup = [w for w in self.d_nbrs if w != v]
+                ctx.rng.shuffle(backup)
+                while len(connect_targets) < delta and backup:
+                    connect_targets.append(backup.pop())
+                while len(grant_tokens) < delta and backup:
+                    grant_tokens.append(backup.pop())
+            if not grant_tokens:
+                continue  # still dry; retry next round
+            for w in connect_targets:
+                ctx.send(w, ConnectMsg(v))
+            ctx.send(v, TokenGrant(tuple(grant_tokens)))
+            served.append(v)
+        for v in served:
+            self._pending_grants.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # Even rounds
+    # ------------------------------------------------------------------
+
+    def _even_round(
+        self, ctx: NodeContext, creates: list[CreateBatch], hops: list[Hop]
+    ) -> None:
+        e = ctx.round // 2
+        self._cutover(ctx, e, creates)
+        if self.phase is Phase.ESTABLISHED:
+            self._forward_hops(ctx, hops)
+            self._launch_joins(ctx, e)
+            self._emit_tokens(ctx)
+            self._launch_queued_probes(ctx)
+        if self.phase is Phase.FRESH or (
+            self.phase is Phase.ESTABLISHED
+            and self._first_epoch is not None
+            and e < self._first_epoch + self.params.lam + 2
+        ):
+            self._fresh_connect(ctx)
+        # Slots served this cycle's join launches and token forwards; reset.
+        self.slots = [None] * (2 * self.params.delta_eff)
+
+    def _cutover(self, ctx: NodeContext, e: int, creates: list[CreateBatch]) -> None:
+        records: dict[int, float] = {}
+        for batch in creates:
+            for rec in batch.records:
+                if rec.epoch == e and rec.node != self.id:
+                    records[rec.node] = rec.pos
+        if records:
+            if self.phase is not Phase.ESTABLISHED or self.epoch is None:
+                self._first_epoch = e
+                self.phase = Phase.ESTABLISHED
+            self.epoch = e
+            self.pos = self.hash.position(self.id, e)
+            self.d_nbrs = records
+            self._d_index = None
+        elif (
+            self.phase is Phase.ESTABLISHED
+            and e >= self.params.lam + 2
+            and (self.epoch is None or self.epoch < e)
+        ):
+            # Expected cutover records never arrived: we fell out of the
+            # overlay.  Demote and recover through the token machinery.
+            self.phase = Phase.FRESH
+            self.epoch = None
+            self.pos = None
+            self.d_nbrs = {}
+            self._d_index = None
+            self.demotions += 1
+
+    def _forward_hops(self, ctx: NodeContext, hops: list[Hop]) -> None:
+        """Even-round forwarding: advance each held hop one trajectory step."""
+        params = self.params
+        index = self._d_members()
+        seen: set[tuple[object, int]] = set()
+        rebroadcast: dict[int, list[JoinRecord]] = defaultdict(list)
+        for hop in hops:
+            key = (hop.msg.msg_id, hop.step)
+            if key in seen:
+                continue
+            seen.add(key)
+            msg = hop.msg
+            k = hop.step
+            if k >= msg.final_step:
+                continue  # defensive: deliveries happen at odd rounds
+            next_k = k + 1
+            payload = msg.payload
+            is_join = isinstance(payload, tuple) and payload[0] == "join"
+            if next_k == msg.final_step:
+                if is_join:
+                    # Rebroadcast the record to the current holders of the
+                    # three Definition-5 arcs (Listing 3 line 10).
+                    rec: JoinRecord = payload[1]
+                    for arc in required_neighbor_arcs(rec.pos, params):
+                        for w in index.ids_in_arc(arc):
+                            w = int(w)
+                            if w != self.id:
+                                rebroadcast[w].append(rec)
+                else:
+                    # Full delivery: the entire target swarm gets the hop.
+                    members = self._swarm_from(index, msg.target)
+                    out = Hop(msg, next_k)
+                    ctx.send_many(members[members != self.id], out)
+                    # A holder inside the target swarm delivers to itself too.
+                    if self._in_swarm(msg.target):
+                        self._deliver(ctx, out)
+            else:
+                members = self._swarm_from(index, msg.trajectory[next_k])
+                size = members.size
+                if size:
+                    rnd = ctx.rng.random
+                    picks = [members[int(rnd() * size)] for _ in range(self._r)]
+                    ctx.send_many(picks, Hop(msg, next_k))
+        for w, recs in rebroadcast.items():
+            # Deduplicate records per receiver, keep deterministic order.
+            uniq = tuple(dict.fromkeys(recs))
+            ctx.send(w, JoinBatch(uniq))
+
+    def _in_swarm(self, point: float) -> bool:
+        if self.pos is None:
+            return False
+        gap = abs(self.pos - point)
+        return min(gap, 1.0 - gap) <= self._swarm_radius
+
+    def _launch_joins(self, ctx: NodeContext, e: int) -> None:
+        """Launch this cycle's JOIN requests (self + sponsored fresh nodes)."""
+        target_epoch = e + self.params.lam + 2
+        candidates = [self.id] + [v for v in self.slots if v is not None]
+        for v in dict.fromkeys(candidates):
+            pos = self.hash.position(v, target_epoch)
+            rec = JoinRecord(v, pos, target_epoch)
+            self._pending_launch.append(
+                make_routed_message(
+                    msg_id=("join", v, target_epoch, self.id),
+                    origin=self.id,
+                    origin_position=self.pos,
+                    target=pos,
+                    lam=self.params.lam,
+                    start_round=ctx.round,
+                    payload=("join", rec),
+                )
+            )
+            self.joins_launched += 1
+
+    def _emit_tokens(self, ctx: NodeContext) -> None:
+        """A_RANDOM step 1: send tau tokens to random nodes via A_SAMPLING."""
+        params = self.params
+        for i in range(params.tau_eff):
+            target = float(ctx.rng.random())
+            delta = int(ctx.rng.integers(0, params.sampling_rank_range))
+            self._pending_launch.append(
+                make_routed_message(
+                    msg_id=("token", self.id, ctx.round, i),
+                    origin=self.id,
+                    origin_position=self.pos,
+                    target=target,
+                    lam=params.lam,
+                    start_round=ctx.round,
+                    sample_rank=delta,
+                    payload=("token", self.id),
+                )
+            )
+
+    def _launch_queued_probes(self, ctx: NodeContext) -> None:
+        for probe_id, target in self._queued_probes:
+            self._pending_launch.append(
+                make_routed_message(
+                    msg_id=("probe", probe_id, self.id),
+                    origin=self.id,
+                    origin_position=self.pos,
+                    target=target,
+                    lam=self.params.lam,
+                    start_round=ctx.round,
+                    payload=("probe", probe_id),
+                )
+            )
+        self._queued_probes.clear()
+
+    def _fresh_connect(self, ctx: NodeContext) -> None:
+        """Fresh-node duty: register with delta random mature nodes."""
+        for owner in self._take_tokens(ctx, self.params.delta_eff):
+            ctx.send(owner, ConnectMsg(self.id))
+
+    # ------------------------------------------------------------------
+    # Odd rounds
+    # ------------------------------------------------------------------
+
+    def _odd_round(
+        self, ctx: NodeContext, join_batches: list[JoinBatch], hops: list[Hop]
+    ) -> None:
+        e_next = ctx.round // 2 + 1
+        # 1. Store handover records for the next overlay.
+        self.h_records = {}
+        for batch in join_batches:
+            for rec in batch.records:
+                if rec.epoch == e_next:
+                    self.h_records[rec.node] = rec
+        if self.phase is not Phase.ESTABLISHED:
+            return
+        h_index = (
+            PositionIndex({v: r.pos for v, r in self.h_records.items()})
+            if self.h_records
+            else None
+        )
+
+        # 2. Handover in-flight hops + deliver finals.
+        params = self.params
+        seen: set[tuple[object, int]] = set()
+        for hop in hops:
+            key = (hop.msg.msg_id, hop.step)
+            if key in seen:
+                continue
+            seen.add(key)
+            if hop.step >= hop.msg.final_step:
+                self._deliver(ctx, hop)
+                continue
+            self._handover_one(ctx, hop, h_index)
+
+        # 3. Initial multicasts of this cycle's launches.
+        for msg in self._pending_launch:
+            index = h_index if h_index is not None else self._d_members()
+            members = self._swarm_from(index, msg.trajectory[0])
+            out = Hop(msg, 0)
+            ctx.send_many(members[members != self.id], out)
+        self._pending_launch.clear()
+
+        # 4. Matchmaking: introduce next-overlay neighbours to each other.
+        if h_index is not None:
+            self._matchmake(ctx, h_index)
+
+    def _handover_one(
+        self, ctx: NodeContext, hop: Hop, h_index: PositionIndex | None
+    ) -> None:
+        """Forward a hop to r nodes of the next overlay's same-point swarm."""
+        point = hop.msg.trajectory[hop.step]
+        index = h_index if h_index is not None else self._d_members()
+        members = self._swarm_from(index, point)
+        size = members.size
+        if not size:
+            return
+        rnd = ctx.rng.random
+        picks = [members[int(rnd() * size)] for _ in range(self._r)]
+        ctx.send_many(picks, hop)
+
+    def _matchmake(self, ctx: NodeContext, h_index: PositionIndex) -> None:
+        """Send each next-overlay node its Definition-5 neighbours (CREATE)."""
+        for v, rec in self.h_records.items():
+            neighbor_ids: list[int] = []
+            for arc in required_neighbor_arcs(rec.pos, self.params):
+                neighbor_ids.extend(int(w) for w in h_index.ids_in_arc(arc))
+            records = tuple(
+                dict.fromkeys(
+                    self.h_records[w] for w in neighbor_ids if w != v
+                )
+            )
+            # An empty batch still signals the cutover to v.
+            ctx.send(v, CreateBatch(records))
+
+    # ------------------------------------------------------------------
+    # Final deliveries
+    # ------------------------------------------------------------------
+
+    def _deliver(self, ctx: NodeContext, hop: Hop) -> None:
+        msg = hop.msg
+        payload = msg.payload
+        tag = payload[0] if isinstance(payload, tuple) else None
+        if tag == "probe":
+            self.delivered.append((payload, ctx.round))
+            return
+        if tag == "token":
+            # A_SAMPLING rank rule: only the node at rank Delta accepts.
+            if msg.sample_rank is None:
+                return
+            rank = self._my_rank(msg.target)
+            if rank is None or rank != msg.sample_rank:
+                return
+            self.sampled_tokens_seen += 1
+            owner = payload[1]
+            # Step 3 of token distribution: keep or forward to a random slot.
+            if ctx.rng.random() < 0.5:
+                self.tokens.append((ctx.round + TOKEN_TTL, owner))
+            else:
+                filled = [s for s in self.slots if s is not None]
+                if filled:
+                    target = filled[int(ctx.rng.random() * len(filled))]
+                    ctx.send(target, TokenMsg(owner))
+                else:
+                    self.tokens.append((ctx.round + TOKEN_TTL, owner))
+            return
+        # Unknown payloads are recorded for diagnosis.
+        self.delivered.append((payload, ctx.round))
+
+    def _my_rank(self, point: float) -> int | None:
+        from repro.routing.sampling import rank_in_swarm
+
+        return rank_in_swarm(self._d_members(), point, self.id, self.params)

@@ -1,0 +1,91 @@
+"""E-X3 (extension) — the routing collapse threshold, theory vs simulation.
+
+Lemma 11's machinery predicts a sharp phase transition: with per-step good
+fraction ``g`` and ``r`` copies per hop, the holder fraction evolves as
+``h -> g * (1 - e^{-r h})``, whose fixpoint is positive iff ``r * g > 1``.
+We sweep the per-round churn fraction, measure end-to-end delivery for
+``r ∈ {1, 2, 3}``, and compare the empirical collapse point against the
+fixpoint model — the paper's "for a suitable r ∈ Θ(1)" made quantitative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.balls_bins import survival_fixpoint
+from repro.config import ProtocolParams
+from repro.experiments.registry import ExperimentResult, register
+from repro.routing.series import SeriesRouter
+
+__all__ = ["run_collapse", "delivery_under_sustained_churn"]
+
+
+def delivery_under_sustained_churn(
+    r: int, churn_per_round: float, n: int = 128, seed: int = 0
+) -> float:
+    """Delivery rate with a fraction of the population killed every round.
+
+    Churn runs for the whole flight of the messages; replacement joins are
+    not modelled (the routable-series abstraction), so the sweep range is
+    kept small enough that swarms do not empty for trivial reasons.
+    """
+    params = ProtocolParams(n=n, c=1.5, r=r, seed=seed)
+    router = SeriesRouter(params, seed=seed + r)
+    rng = np.random.default_rng(seed + 100)  # identical churn across r
+    for v in range(n):
+        router.send(v, float(rng.random()))
+    for _ in range(params.dilation + 4):
+        alive = sorted(router.alive)
+        kills = max(0, int(churn_per_round * len(alive)))
+        if kills and alive:
+            victims = rng.choice(alive, size=min(kills, len(alive)), replace=False)
+            router.kill(int(v) for v in victims)
+        router.step()
+    router.run_until_quiet()
+    return sum(1 for o in router.outcomes.values() if o.delivered) / n
+
+
+@register("E-X3")
+def run_collapse(quick: bool = True, seed: int = 19) -> ExperimentResult:
+    n = 128 if quick else 256
+    churn_levels = [0.0, 0.04, 0.08] if quick else [0.0, 0.02, 0.04, 0.06, 0.08, 0.12]
+    rs = (1, 2, 3)
+    header = ["churn/round", "g per step", "r=1 predicted h*", "r=1 delivery",
+              "r=2 predicted h*", "r=2 delivery", "r=3 predicted h*", "r=3 delivery"]
+    rows = []
+    passed = True
+    for f in churn_levels:
+        g = (1.0 - f) ** 2  # survival over one 2-round step
+        row: list = [f, g]
+        deliveries = {}
+        for r in rs:
+            h_star = survival_fixpoint(r, g)
+            rate = delivery_under_sustained_churn(r, f, n=n, seed=seed)
+            deliveries[r] = rate
+            row.extend([h_star, rate])
+        rows.append(row)
+        # Shape checks: no churn => everyone delivers; heavy churn separates
+        # r=1 (vanishing fixpoint) from r>=2 (bounded-away fixpoint).
+        if f == 0.0:
+            passed = passed and all(d == 1.0 for d in deliveries.values())
+        if f >= 0.08:
+            # The separation is the claim: r=1's fixpoint is ~0 while r>=2
+            # stays bounded away.  (Absolute rates also sag because the
+            # population shrinks without replacement joins, thinning swarms
+            # below the goodness premise — hence >= 0.75, not ~1.)
+            passed = passed and deliveries[1] <= deliveries[2] - 0.25
+            passed = passed and deliveries[2] >= 0.75 and deliveries[3] >= 0.75
+    return ExperimentResult(
+        experiment_id="E-X3",
+        title="Extension — the routing collapse threshold (fixpoint model)",
+        claim="Delivery collapses when r*g approaches 1 (the survival "
+        "fixpoint vanishes); r >= 2 keeps the fixpoint bounded away from 0 "
+        "at the paper's goodness levels.",
+        header=header,
+        rows=rows,
+        passed=passed,
+        notes=[
+            f"n={n}; churn applied every round for the whole flight; "
+            "g = (1-f)^2 per forwarding step."
+        ],
+    )

@@ -1,0 +1,141 @@
+"""E-L3 and E-L4 — the Section 2 impossibility results, run live.
+
+* **E-L3 (Lemma 3)**: an adversary with up-to-date topology knowledge
+  isolates a freshly joined node from the naive gossip overlay; the same
+  scripted attack with the paper's 2-round topology lag is also reported.
+* **E-L4 (Lemma 4)**: the oblivious chain-of-joins attack partitions the
+  network when nodes may join via 1-round-old bootstraps, and is rejected by
+  the budget checker under the proper 2-round rule.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.budget import ChurnViolation
+from repro.adversary.isolate_join import IsolateJoinAdversary
+from repro.adversary.join_chain import JoinChainAdversary
+from repro.analysis.connectivity import (
+    is_connected,
+    is_isolated,
+    knowledge_graph_of_gossip,
+)
+from repro.baselines.gossip import GossipNode
+from repro.config import ProtocolParams
+from repro.experiments.registry import ExperimentResult, register
+from repro.sim.engine import Engine
+
+__all__ = ["run_lemma3", "run_lemma4"]
+
+
+def _gossip_engine(params, adversary, join_min_age=2):
+    eng = Engine(
+        params,
+        lambda v, s: GossipNode(v, s),
+        adversary=adversary,
+        strict_budget=True,
+        join_min_age=join_min_age,
+    )
+    eng.seed_nodes(range(params.n))
+    for v in range(params.n):
+        eng.protocol_of(v).seed_known({(v + d) % params.n for d in range(1, 4)})
+    return eng
+
+
+def _lemma3_params(n: int, seed: int) -> ProtocolParams:
+    return ProtocolParams(
+        n=n,
+        alpha=0.5,
+        kappa=1.5,
+        seed=seed,
+        churn_budget_override=2 * n,
+        churn_window_override=16,
+    )
+
+
+@register("E-L3")
+def run_lemma3(quick: bool = True, seed: int = 3) -> ExperimentResult:
+    sizes = [32] if quick else [32, 64]
+    rounds_factor = 3
+    header = ["n", "adversary lateness", "rounds", "victim isolated", "network partitioned"]
+    rows = []
+    passed = True
+    for n in sizes:
+        for lateness in (1, 2):
+            params = _lemma3_params(n, seed)
+            adv = IsolateJoinAdversary(params, seed=seed + 1, topology_lateness=lateness)
+            eng = _gossip_engine(params, adv)
+            rounds = rounds_factor * n
+            eng.run(rounds)
+            knows = knowledge_graph_of_gossip(eng)
+            victim_ok = adv.victim_id is not None and adv.victim_id in eng.alive
+            isolated = victim_ok and is_isolated(knows, adv.victim_id, max_size=1)
+            partitioned = not is_connected(knows)
+            rows.append([n, lateness, rounds, isolated, partitioned])
+            if lateness == 1:
+                # The up-to-date attack must succeed (Lemma 3).
+                passed = passed and isolated and partitioned
+    return ExperimentResult(
+        experiment_id="E-L3",
+        title="Lemma 3 — a (0,*)-late adversary disconnects any overlay",
+        claim="With up-to-date topology knowledge, every courier of the "
+        "victim's id is churned before acting; the victim is isolated in "
+        "O(log n)-scaled time.  (The 2-late row shows the same script with "
+        "stale information — couriers escape.)",
+        header=header,
+        rows=rows,
+        passed=passed,
+        notes=[
+            "'lateness 1' = the newest complete round's edges, the engine's "
+            "causal equivalent of the paper's 0-late adversary."
+        ],
+    )
+
+
+@register("E-L4")
+def run_lemma4(quick: bool = True, seed: int = 5) -> ExperimentResult:
+    n = 24 if quick else 48
+    params = ProtocolParams(
+        n=n,
+        alpha=0.5,
+        kappa=1.5,
+        seed=seed,
+        churn_budget_override=10 * n,
+        churn_window_override=10,
+    )
+    header = ["join rule (min bootstrap age)", "outcome", "V_0 eroded", "head isolated"]
+    rows = []
+
+    # Weakened model: join via 1-round-old nodes allowed.
+    adv = JoinChainAdversary(params, seed=seed + 1, erosion_batch=2)
+    eng = _gossip_engine(params, adv, join_min_age=1)
+    eng.run(5 * n)
+    knows = knowledge_graph_of_gossip(eng)
+    eroded = adv.eroded_all(eng.alive)
+    head = adv.chain_head
+    isolated = (
+        head is not None and head in eng.alive and is_isolated(knows, head, max_size=2)
+    )
+    rows.append(["1 round (weakened)", "network partitioned", eroded, isolated])
+    weak_ok = eroded and isolated and not is_connected(knows)
+
+    # Proper model: the first chain extension violates the join rule.
+    adv2 = JoinChainAdversary(params, seed=seed + 1)
+    eng2 = _gossip_engine(params, adv2, join_min_age=2)
+    try:
+        eng2.run(5 * n)
+        blocked = False
+        detail = "attack ran (unexpected)"
+    except ChurnViolation as exc:
+        blocked = True
+        detail = "attack rejected: " + str(exc)[:60]
+    rows.append(["2 rounds (the model)", detail, "-", "-"])
+
+    return ExperimentResult(
+        experiment_id="E-L4",
+        title="Lemma 4 — joining via 1-round-old nodes is fatal",
+        claim="An oblivious chain-of-joins adversary partitions any overlay "
+        "if bootstraps may be 1 round old; the model's 2-round rule blocks "
+        "the attack outright.",
+        header=header,
+        rows=rows,
+        passed=weak_ok and blocked,
+    )

@@ -1,0 +1,180 @@
+"""E-L17, E-L22 and E-T14 — the maintenance algorithm under churn.
+
+* **E-L17 (Lemma 17, good swarms)**: under budget-maximal churn, every swarm
+  of the maintained overlay keeps at least a 3/4 fraction of members that
+  survive two more rounds (the goodness invariant of Definition 8).
+* **E-L22 (Lemma 22, bounded connects)**: no mature node ever receives more
+  than ``2*delta`` CONNECTs in a round (slot overflow stays negligible).
+* **E-T14 (Theorem 14, the main result)**: the mature nodes form a routable
+  series of overlays for the whole run — measured as structural edge
+  coverage, end-to-end probe delivery, and zero overlay fallout — under the
+  strongest adversaries the model admits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.oblivious import RandomChurnAdversary
+from repro.adversary.swarm_wipe import ContactTraceAdversary, DegreeTargetAdversary
+from repro.config import ProtocolParams
+from repro.core.runner import MaintenanceSimulation
+from repro.experiments.registry import ExperimentResult, register
+from repro.overlay.positions import PositionIndex
+
+__all__ = ["run_lemma17", "run_lemma22", "run_theorem14"]
+
+
+def _params(n: int, seed: int) -> ProtocolParams:
+    return ProtocolParams(
+        n=n, c=1.2, r=2, delta=3, tau=8, seed=seed, alpha=0.25, kappa=1.25
+    )
+
+
+@register("E-L17")
+def run_lemma17(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    n = 40 if quick else 64
+    params = _params(n, seed)
+    adv = RandomChurnAdversary(params, seed=seed + 1)
+    sim = MaintenanceSimulation(params, adversary=adv)
+    sim.run(params.bootstrap_rounds + 4)
+
+    audits = 6 if quick else 15
+    header = ["audit round", "overlay members", "min swarm size", "min good fraction"]
+    rows = []
+    min_overall = 1.0
+    for _ in range(audits):
+        # Snapshot the current overlay, run two rounds, measure survivors.
+        snapshot_round = sim.round
+        members = {
+            v: node.pos
+            for v, node in sim.established_nodes().items()
+            if node.pos is not None
+        }
+        index = PositionIndex(members)
+        sim.run(2)
+        survivors = sim.engine.trace.alive_at(sim.round - 1) or frozenset()
+        min_frac = 1.0
+        min_size = 10**9
+        for p in index.sorted_positions:
+            swarm = index.ids_within(float(p), params.swarm_radius)
+            size = swarm.size
+            good = sum(1 for w in swarm if int(w) in survivors)
+            min_size = min(min_size, size)
+            if size:
+                min_frac = min(min_frac, good / size)
+        min_overall = min(min_overall, min_frac)
+        rows.append([snapshot_round, len(members), min_size, min_frac])
+        sim.run(2)
+    passed = min_overall >= params.goodness
+    return ExperimentResult(
+        experiment_id="E-L17",
+        title="Lemma 17 — swarms stay good under maximal churn",
+        claim="Every swarm of every maintained overlay keeps >= 3/4 of its "
+        "members alive two rounds later.",
+        header=header,
+        rows=rows,
+        passed=passed,
+        notes=[f"goodness threshold {params.goodness}; worst observed {min_overall:.3f}"],
+    )
+
+
+@register("E-L22")
+def run_lemma22(quick: bool = True, seed: int = 8) -> ExperimentResult:
+    n = 40 if quick else 64
+    params = _params(n, seed)
+    adv = RandomChurnAdversary(params, seed=seed + 1)
+    sim = MaintenanceSimulation(params, adversary=adv)
+    sim.run((6 if quick else 12) * params.lam)
+    nodes = sim.alive_nodes()
+    max_connects = max(node.max_connects_in_round for node in nodes)
+    total_received = sum(node.connects_received for node in nodes)
+    total_dropped = sum(node.connects_dropped for node in nodes)
+    bound = 2 * params.delta_eff
+    header = ["metric", "value", "bound", "ok"]
+    rows = [
+        ["max CONNECTs at one node in one round", max_connects, f"<= {bound}", max_connects <= bound],
+        ["total CONNECTs received", total_received, "-", True],
+        ["CONNECTs dropped (slot overflow)", total_dropped, "~0", total_dropped <= 0.02 * max(1, total_received)],
+    ]
+    passed = all(bool(r[-1]) for r in rows)
+    return ExperimentResult(
+        experiment_id="E-L22",
+        title="Lemma 22 — mature nodes receive at most 2*delta connects",
+        claim="Fresh-node CONNECT load spreads so evenly that the 2*delta "
+        "slot bound is (essentially) never exceeded.",
+        header=header,
+        rows=rows,
+        passed=passed,
+        notes=[f"delta={params.delta_eff}, run length {sim.round} rounds"],
+    )
+
+
+def _theorem14_run(adversary_name: str, n: int, seed: int) -> list:
+    params = _params(n, seed)
+    if adversary_name == "random":
+        adv = RandomChurnAdversary(params, seed=seed + 1)
+    elif adversary_name == "contact-trace":
+        adv = ContactTraceAdversary(params, victim=0, seed=seed + 1, topology_lateness=2)
+    elif adversary_name == "degree-target":
+        adv = DegreeTargetAdversary(params, seed=seed + 1, top=6, topology_lateness=2)
+    else:  # pragma: no cover - defensive
+        raise ValueError(adversary_name)
+    sim = MaintenanceSimulation(params, adversary=adv)
+    rng = np.random.default_rng(seed)
+    sim.run(params.bootstrap_rounds + 6)
+    ids = list(sim.send_probes(6, rng))
+    sim.run(params.dilation + 2)
+    ids += sim.send_probes(6, rng)
+    sim.run(2 * params.dilation + 4)
+    probe = sim.probe_report(ids)
+    audit = sim.audit_overlay()
+    health = sim.health_summary()
+    ok = (
+        probe.delivery_rate >= 0.95
+        and audit.edge_coverage >= 0.99
+        and health["total_demotions"] <= 1
+    )
+    return [
+        adversary_name,
+        n,
+        sim.round,
+        health["established_fraction"],
+        audit.edge_coverage,
+        probe.delivery_rate,
+        int(health["total_demotions"]),
+        int(health["peak_congestion"]),
+        ok,
+    ]
+
+
+@register("E-T14")
+def run_theorem14(quick: bool = True, seed: int = 9) -> ExperimentResult:
+    sizes = [40] if quick else [48, 64]
+    adversaries = ["random", "contact-trace", "degree-target"]
+    header = [
+        "adversary",
+        "n",
+        "rounds",
+        "established frac",
+        "edge coverage",
+        "probe delivery",
+        "demotions",
+        "peak congestion",
+        "ok",
+    ]
+    rows = []
+    for n in sizes:
+        for name in adversaries:
+            rows.append(_theorem14_run(name, n, seed))
+    passed = all(bool(r[-1]) for r in rows)
+    return ExperimentResult(
+        experiment_id="E-T14",
+        title="Theorem 14 — a routable overlay under a (2, O(log n))-late adversary",
+        claim="The mature nodes form a routable series of overlays (full "
+        "Definition-5 edge coverage + end-to-end delivery) against every "
+        "budget-maximal 2-late strategy.",
+        header=header,
+        rows=rows,
+        passed=passed,
+    )

@@ -1,0 +1,92 @@
+"""E-X1 (extension) — transferring the construction to Chord.
+
+The paper's abstract claims the approach "can be transferred to a variety of
+classical P2P topologies where nodes are mapped into the [0,1)-interval".
+This experiment carries the transfer out for Chord (swarms + finger arcs)
+and compares the two instantiations head to head: degree cost, delivery
+under churn, dilation, and congestion.  Expected shape: identical
+resilience and dilation, with Chord paying a Theta(log n) factor in degree
+(lam finger arcs instead of two De Bruijn arcs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.experiments.registry import ExperimentResult, register
+from repro.overlay.chordswarm import ChordSwarmGraph, chord_trajectory
+from repro.overlay.lds import LDSGraph
+from repro.routing.series import SeriesRouter
+
+__all__ = ["run_transfer"]
+
+
+def _route_under_churn(params: ProtocolParams, trajectory_fn, seed: int):
+    router = SeriesRouter(params, seed=seed, trajectory_fn=trajectory_fn)
+    rng = np.random.default_rng(seed + 1)
+    n = params.n
+    for v in range(n):
+        router.send(v, float(rng.random()))
+    router.run(3)
+    victims = rng.choice(n, size=max(1, n // 10), replace=False)
+    router.kill(int(v) for v in victims)
+    router.run_until_quiet()
+    outcomes = list(router.outcomes.values())
+    delivered = [o for o in outcomes if o.delivered]
+    exact = sum(1 for o in delivered if o.dilation == params.dilation)
+    return (
+        len(delivered) / len(outcomes),
+        f"{exact}/{len(delivered)}",
+        router.metrics.peak_congestion(),
+    )
+
+
+@register("E-X1")
+def run_transfer(quick: bool = True, seed: int = 15) -> ExperimentResult:
+    n = 128 if quick else 256
+    params = ProtocolParams(n=n, c=1.5, r=2, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    lds = LDSGraph.random(params, rng)
+    chord = ChordSwarmGraph.random(params, rng)
+    lds_deg = lds.degree_stats()
+    chord_deg = chord.degree_stats()
+
+    lds_rate, lds_exact, lds_peak = _route_under_churn(params, None, seed)
+    ch_rate, ch_exact, ch_peak = _route_under_churn(params, chord_trajectory, seed)
+
+    header = ["topology", "mean degree", "delivery @10% churn", "dilation exact", "peak congestion"]
+    rows = [
+        ["LDS (De Bruijn swarms)", lds_deg[1], lds_rate, lds_exact, lds_peak],
+        ["Chord swarms (transfer)", chord_deg[1], ch_rate, ch_exact, ch_peak],
+        [
+            "ratio (Chord / LDS)",
+            chord_deg[1] / lds_deg[1],
+            ch_rate / max(lds_rate, 1e-9),
+            "-",
+            ch_peak / max(lds_peak, 1),
+        ],
+    ]
+    # The degree premium is lam - O(log(c*lam)) *distinct* finger arcs (at
+    # small n most short fingers collapse into the list arc), so we assert a
+    # strict premium, not the asymptotic factor.
+    passed = (
+        lds_rate >= 0.97
+        and ch_rate >= 0.97
+        and chord_deg[1] > 1.05 * lds_deg[1]
+    )
+    return ExperimentResult(
+        experiment_id="E-X1",
+        title="Extension — the Chord-swarm transfer",
+        claim="The swarm construction transfers to Chord with the same "
+        "delivery guarantee and dilation, at a Theta(log n) degree premium.",
+        header=header,
+        rows=rows,
+        passed=passed,
+        notes=[
+            f"n={n}, lam={params.lam}; both topologies routed with r={params.r}",
+            "distinct long fingers ~ lam - log2(4*c*lam): the degree premium "
+            "grows with n but is modest at laptop scale",
+        ],
+    )

@@ -1,0 +1,85 @@
+"""Experiment registry and shared result schema.
+
+Every paper artefact (Table 1, Figure 1, each numbered lemma/theorem) maps to
+one experiment function returning an :class:`ExperimentResult`.  The
+``quick`` flag selects CI-sized workloads; benchmarks run the full sizes.
+Results render as plain tables so ``EXPERIMENTS.md`` can be regenerated and
+diffed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.util.tables import format_markdown_table, format_table
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    header: Sequence[str]
+    rows: list[list[Any]]
+    passed: bool
+    notes: list[str] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        body = format_table(self.header, self.rows)
+        lines = [
+            f"[{self.experiment_id}] {self.title}",
+            f"claim: {self.claim}",
+            body,
+            f"verdict: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        body = format_markdown_table(self.header, self.rows)
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"*Paper claim:* {self.claim}",
+            "",
+            body,
+            "",
+            f"*Verdict:* **{'PASS' if self.passed else 'FAIL'}**",
+        ]
+        lines.extend(f"- {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, ExperimentFn] = {}
+
+
+def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment under its id (e.g. ``"E-L9"``)."""
+
+    def deco(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return deco
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    # Importing the package registers all experiments.
+    import repro.experiments  # noqa: F401
+
+    return _REGISTRY[experiment_id]
+
+
+def all_experiments() -> dict[str, ExperimentFn]:
+    import repro.experiments  # noqa: F401
+
+    return dict(_REGISTRY)

@@ -1,0 +1,42 @@
+"""Overlay topologies: position tables, swarms, the LDS and the LDG baseline."""
+
+from repro.overlay.chordswarm import ChordSwarmGraph, chord_finger_arcs, chord_trajectory
+from repro.overlay.estimation import (
+    estimate_lambda,
+    local_size_estimate,
+    median_size_estimate,
+    params_from_estimate,
+)
+from repro.overlay.lds import LDSGraph, build_lds, required_neighbor_arcs
+from repro.overlay.ldg import LDGGraph
+from repro.overlay.positions import PositionIndex
+from repro.overlay.swarm import SwarmStats, audit_goodness, swarm_arc, swarm_members
+from repro.overlay.trajectory import (
+    crossing_counts,
+    max_step_error,
+    trajectory,
+    trajectory_bits,
+)
+
+__all__ = [
+    "ChordSwarmGraph",
+    "LDGGraph",
+    "LDSGraph",
+    "PositionIndex",
+    "SwarmStats",
+    "audit_goodness",
+    "build_lds",
+    "chord_finger_arcs",
+    "chord_trajectory",
+    "crossing_counts",
+    "estimate_lambda",
+    "local_size_estimate",
+    "median_size_estimate",
+    "params_from_estimate",
+    "max_step_error",
+    "required_neighbor_arcs",
+    "swarm_arc",
+    "swarm_members",
+    "trajectory",
+    "trajectory_bits",
+]

@@ -1,0 +1,121 @@
+"""Local network-size estimation — running the protocol without knowing n.
+
+The paper assumes every node knows ``n`` and ``kappa`` "due to space
+constraints" and notes that all algorithms can work with close estimates of
+``lam`` and ``lam/n``, citing the estimation techniques of Richa et al. /
+King & Saia.  This module supplies that piece:
+
+* a node estimates the density of the ring from the distance to its ``j``-th
+  closest known neighbour — the arc ``(v - d_j, v + d_j)`` of length
+  ``2*d_j`` contains exactly ``j`` uniform points, so ``n ≈ j / (2*d_j)``;
+* estimates are aggregated by median (over a swarm, or over all nodes),
+  which concentrates sharply for ``j = Theta(log n)``;
+* :func:`params_from_estimate` re-derives the protocol constants from the
+  estimate, and experiment E-X2 verifies the resulting radii still satisfy
+  the Swarm Property.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.overlay.positions import PositionIndex
+from repro.util.intervals import ring_distance
+
+__all__ = [
+    "local_size_estimate",
+    "all_node_estimates",
+    "median_size_estimate",
+    "estimate_lambda",
+    "params_from_estimate",
+]
+
+
+def local_size_estimate(index: PositionIndex, v: int, j: int) -> float:
+    """Node ``v``'s estimate of ``n`` from its ``j``-th closest neighbour.
+
+    With positions i.i.d. uniform, the arc of half-width ``d_(j)`` around
+    ``v`` contains ``j`` of the other ``n-1`` points, giving the density
+    estimator ``n_hat = j / (2 * d_(j))``.  Larger ``j`` concentrates better
+    (relative error ``O(1/sqrt(j))``).
+    """
+    if j < 1:
+        raise ValueError("j must be at least 1")
+    if len(index) <= j:
+        raise ValueError(f"need more than j={j} nodes, have {len(index)}")
+    p = index.position(v)
+    distances = np.sort(
+        [
+            ring_distance(p, index.position(int(w)))
+            for w in index.ids
+            if int(w) != v
+        ]
+    )
+    d_j = float(distances[j - 1])
+    if d_j <= 0.0:
+        # Colliding positions (measure-zero); fall back to the next gap.
+        positive = distances[distances > 0]
+        if positive.size == 0:
+            raise ValueError("all known positions identical")
+        d_j = float(positive[0])
+    return j / (2.0 * d_j)
+
+
+def all_node_estimates(index: PositionIndex, j: int) -> np.ndarray:
+    """Every node's local estimate (vectorised over the sorted table).
+
+    Equivalent to calling :func:`local_size_estimate` per node but computed
+    from rank offsets on the sorted position array: the ``j``-th closest
+    neighbour is within the ``j`` predecessors/successors on the ring.
+    """
+    pos = index.sorted_positions
+    n = pos.size
+    if n <= j:
+        raise ValueError(f"need more than j={j} nodes, have {n}")
+    # Candidate distances: offsets 1..j clockwise and counter-clockwise.
+    out = np.empty(n)
+    for i in range(n):
+        cand = []
+        for off in range(1, j + 1):
+            cand.append(ring_distance(pos[i], pos[(i + off) % n]))
+            cand.append(ring_distance(pos[i], pos[(i - off) % n]))
+        cand.sort()
+        d_j = cand[j - 1]
+        out[i] = j / (2.0 * d_j) if d_j > 0 else float("inf")
+    return out
+
+
+def median_size_estimate(index: PositionIndex, j: int | None = None) -> float:
+    """Median of all nodes' local estimates (robust aggregate).
+
+    ``j`` defaults to ``ceil(2 * log2(#known))`` — a Theta(log n) choice a
+    node can make from its own neighbourhood size.
+    """
+    if j is None:
+        j = max(2, math.ceil(2 * math.log2(max(2, len(index)))))
+    return float(np.median(all_node_estimates(index, j)))
+
+
+def estimate_lambda(n_hat: float, kappa: float = 1.0) -> int:
+    """The address width implied by an estimate of ``n``."""
+    return max(1, math.ceil(math.log2(max(2.0, kappa * n_hat))))
+
+
+def params_from_estimate(
+    base: ProtocolParams, n_hat: float, safety: float = 1.2
+) -> ProtocolParams:
+    """Protocol parameters re-derived from an estimated network size.
+
+    Keeps all tunables of ``base`` but swaps in the estimated ``n`` and
+    inflates ``c`` by ``safety``.  The slack is necessary, not cosmetic:
+    Lemma 6's radii are exactly tight, so an overestimate of ``n`` shrinks
+    the edge radii below what true-size swarms require — the safety factor
+    must dominate the estimator's relative error (experiment E-X2 shows the
+    failure without it).
+    """
+    if safety < 1.0:
+        raise ValueError("safety factor must be >= 1")
+    return base.with_updates(n=max(8, round(n_hat)), c=base.c * safety)

@@ -1,0 +1,77 @@
+"""The classical Linearized De Bruijn Graph (LDG) — the baseline topology.
+
+After Richa, Scheideler and Stevens (SSS 2011): each node connects to its
+immediate ring predecessor and successor (linearisation) and to the node
+closest to ``v/2`` and to ``(v+1)/2`` (De Bruijn edges).  Constant degree, no
+swarms, no redundancy — the natural baseline against which the LDS's churn
+resistance is demonstrated: a single churned-out node on a route breaks
+delivery, and an up-to-date adversary can cut the ring.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.overlay.positions import PositionIndex
+from repro.util.intervals import wrap
+
+__all__ = ["LDGGraph"]
+
+
+class LDGGraph:
+    """A classical LDG snapshot over a position table."""
+
+    def __init__(self, index: PositionIndex) -> None:
+        if len(index) < 3:
+            raise ValueError("LDG needs at least 3 nodes")
+        self.index = index
+        self._neighbors: dict[int, tuple[int, ...]] = {}
+
+    @classmethod
+    def from_positions(cls, positions: Mapping[int, float]) -> "LDGGraph":
+        return cls(PositionIndex(positions))
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator) -> "LDGGraph":
+        return cls.from_positions({i: float(p) for i, p in enumerate(rng.random(n))})
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        return self.index.ids
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def ring_successor(self, v: int) -> int:
+        """The node immediately clockwise of ``v``."""
+        ids = self.index.ids
+        i = int(np.nonzero(ids == v)[0][0])
+        return int(ids[(i + 1) % ids.size])
+
+    def ring_predecessor(self, v: int) -> int:
+        """The node immediately counter-clockwise of ``v``."""
+        ids = self.index.ids
+        i = int(np.nonzero(ids == v)[0][0])
+        return int(ids[(i - 1) % ids.size])
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Ring predecessor/successor plus the two De Bruijn contacts."""
+        cached = self._neighbors.get(v)
+        if cached is None:
+            p = self.index.position(v)
+            out = {
+                self.ring_predecessor(v),
+                self.ring_successor(v),
+                self.index.closest(wrap(p / 2.0)),
+                self.index.closest(wrap((p + 1.0) / 2.0)),
+            }
+            out.discard(v)
+            cached = tuple(sorted(out))
+            self._neighbors[v] = cached
+        return cached
+
+    def degree_stats(self) -> tuple[int, float, int]:
+        degs = [len(self.neighbors(int(v))) for v in self.node_ids]
+        return (min(degs), float(np.mean(degs)), max(degs))

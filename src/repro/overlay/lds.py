@@ -1,0 +1,181 @@
+"""The Linearized De Bruijn Swarm (LDS) — Definition 5.
+
+Given node positions on the unit ring, the LDS connects each node ``v`` to
+
+* **list edges** ``E_L``: every node within ring distance ``2*c*lam/n``;
+* **long-distance (De Bruijn) edges** ``E_DB``: every node within distance
+  ``3*c*lam/(2n)`` of ``(v + i)/2`` for ``i in {0, 1}``.
+
+The list radius is deliberately *twice* the swarm radius and the De Bruijn
+radius 1.5x: Lemma 6 (the Swarm Property) then guarantees that every node of a
+swarm ``S(p)`` has edges to **all** of ``S(p/2)`` and ``S((p+1)/2)``, which is
+what makes swarm-to-swarm routing survive churn.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.overlay.positions import PositionIndex
+from repro.overlay.swarm import swarm_members
+from repro.util.intervals import Arc, wrap
+
+__all__ = ["LDSGraph", "required_neighbor_arcs", "build_lds"]
+
+
+def required_neighbor_arcs(p: float, params: ProtocolParams) -> tuple[Arc, Arc, Arc]:
+    """The three arcs a node at position ``p`` must be connected to.
+
+    Returns ``(list_arc, db_arc_0, db_arc_1)`` — the neighbourhoods around
+    ``p``, ``p/2`` and ``(p+1)/2`` from Definition 5.  The same arcs drive the
+    maintenance algorithm's JOIN rebroadcast (Listing 3).
+    """
+    return (
+        Arc(p, params.list_radius),
+        Arc(wrap(p / 2.0), params.debruijn_radius),
+        Arc(wrap((p + 1.0) / 2.0), params.debruijn_radius),
+    )
+
+
+class LDSGraph:
+    """An LDS snapshot: positions plus the implied edge sets.
+
+    Edges are directed "knows the id of" relations per the paper's model;
+    list edges are symmetric by construction, De Bruijn edges are not.
+    Neighbour sets are computed lazily and cached.
+    """
+
+    def __init__(self, index: PositionIndex, params: ProtocolParams) -> None:
+        self.index = index
+        self.params = params
+        self._neighbors: dict[int, np.ndarray] = {}
+        self._list_neighbors: dict[int, np.ndarray] = {}
+        self._db_neighbors: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls, params: ProtocolParams, rng: np.random.Generator, n: int | None = None
+    ) -> "LDSGraph":
+        """An LDS over ``n`` nodes at i.i.d. uniform positions (ids 0..n-1)."""
+        count = params.n if n is None else n
+        positions = {i: float(p) for i, p in enumerate(rng.random(count))}
+        return cls(PositionIndex(positions), params)
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        return self.index.ids
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods
+    # ------------------------------------------------------------------
+
+    def list_neighbors(self, v: int) -> np.ndarray:
+        """Ids within the list radius of ``v`` (excluding ``v`` itself)."""
+        cached = self._list_neighbors.get(v)
+        if cached is None:
+            p = self.index.position(v)
+            ids = self.index.ids_within(p, self.params.list_radius)
+            cached = ids[ids != v]
+            self._list_neighbors[v] = cached
+        return cached
+
+    def db_neighbors(self, v: int) -> np.ndarray:
+        """Ids within the De Bruijn radius of ``v/2`` or ``(v+1)/2``."""
+        cached = self._db_neighbors.get(v)
+        if cached is None:
+            p = self.index.position(v)
+            rho = self.params.debruijn_radius
+            a = self.index.ids_within(wrap(p / 2.0), rho)
+            b = self.index.ids_within(wrap((p + 1.0) / 2.0), rho)
+            merged = np.union1d(a, b)
+            cached = merged[merged != v]
+            self._db_neighbors[v] = cached
+        return cached
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """All out-neighbours of ``v`` (list plus De Bruijn, deduplicated)."""
+        cached = self._neighbors.get(v)
+        if cached is None:
+            cached = np.union1d(self.list_neighbors(v), self.db_neighbors(v))
+            self._neighbors[v] = cached
+        return cached
+
+    def swarm(self, p: float) -> np.ndarray:
+        """Ids of ``S(p)`` in this snapshot."""
+        return swarm_members(self.index, p, self.params)
+
+    def degree(self, v: int) -> int:
+        return int(self.neighbors(v).size)
+
+    def degree_stats(self) -> tuple[int, float, int]:
+        """(min, mean, max) out-degree over all nodes."""
+        degs = [self.degree(int(v)) for v in self.node_ids]
+        if not degs:
+            return (0, 0.0, 0)
+        return (min(degs), float(np.mean(degs)), max(degs))
+
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return int(sum(self.degree(int(v)) for v in self.node_ids))
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+
+    def check_swarm_property(self, points: Iterable[float]) -> bool:
+        """Empirically verify Lemma 6 at the given points.
+
+        For each point ``p``: every node of ``S(p)`` must have an edge to
+        every node of ``S(p/2)`` and of ``S((p+1)/2)``.
+        """
+        for p in points:
+            members = self.swarm(p)
+            for branch in (0, 1):
+                target = self.swarm(wrap((p + branch) / 2.0))
+                target_set = set(int(t) for t in target)
+                for v in members:
+                    nbrs = set(int(w) for w in self.neighbors(int(v)))
+                    nbrs.add(int(v))  # a node trivially "reaches" itself
+                    if not target_set <= nbrs:
+                        return False
+        return True
+
+    def audit_claimed_adjacency(
+        self, claimed: Mapping[int, AbstractSetLike]
+    ) -> dict[int, set[int]]:
+        """Compare claimed neighbour sets against Definition 5.
+
+        Returns, per node, the set of *missing* required neighbours (empty
+        everywhere means the claimed overlay covers the LDS).  Used to audit
+        overlays built by the maintenance algorithm against ground truth.
+        """
+        missing: dict[int, set[int]] = {}
+        for v in self.node_ids:
+            v = int(v)
+            required = set(int(w) for w in self.neighbors(v))
+            have = set(int(w) for w in claimed.get(v, ()))
+            gap = required - have
+            if gap:
+                missing[v] = gap
+        return missing
+
+
+# ``Mapping[int, set[int] | frozenset[int] | np.ndarray]`` — anything iterable.
+AbstractSetLike = Iterable[int]
+
+
+def build_lds(
+    positions: Mapping[int, float], params: ProtocolParams
+) -> LDSGraph:
+    """Convenience constructor from an id -> position mapping."""
+    return LDSGraph(PositionIndex(positions), params)

@@ -1,0 +1,148 @@
+"""Sorted position tables with wrap-aware range queries.
+
+The hot loop of every topology operation is "which nodes lie within distance
+``rho`` of point ``p`` on the ring?".  :class:`PositionIndex` answers this in
+``O(log n + output)`` via a sorted NumPy array and ``searchsorted`` — the
+vectorised idiom recommended by the HPC guides (no Python-level scans).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.util.intervals import Arc, ring_distance
+
+__all__ = ["PositionIndex"]
+
+
+class PositionIndex:
+    """An immutable snapshot of node positions on the unit ring.
+
+    Parameters
+    ----------
+    positions:
+        Mapping from node id to position in ``[0, 1)``.
+    """
+
+    def __init__(self, positions: Mapping[int, float]) -> None:
+        ids = np.fromiter(positions.keys(), dtype=np.int64, count=len(positions))
+        pos = np.fromiter(positions.values(), dtype=np.float64, count=len(positions))
+        if pos.size and (pos.min() < 0.0 or pos.max() >= 1.0):
+            raise ValueError("all positions must lie in [0, 1)")
+        order = np.argsort(pos, kind="stable")
+        self._ids = ids[order]
+        self._pos = pos[order]
+        self._by_id = {int(i): float(p) for i, p in zip(self._ids, self._pos)}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._ids.size
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._by_id
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Node ids, sorted by position (do not mutate)."""
+        return self._ids
+
+    @property
+    def sorted_positions(self) -> np.ndarray:
+        """Positions in ascending order (do not mutate)."""
+        return self._pos
+
+    def position(self, node_id: int) -> float:
+        """Position of one node; raises ``KeyError`` for unknown ids."""
+        return self._by_id[node_id]
+
+    def as_dict(self) -> dict[int, float]:
+        """A fresh id -> position dict."""
+        return dict(self._by_id)
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+
+    def _segment_slices(self, lo: float, hi: float) -> list[slice]:
+        """Index slices of the sorted array covering the arc [lo, hi] (wrapped)."""
+        if hi - lo >= 1.0:
+            return [slice(0, self._pos.size)]
+        lo_w = lo % 1.0
+        hi_w = hi % 1.0
+        if lo_w <= hi_w:
+            a = int(np.searchsorted(self._pos, lo_w, side="left"))
+            b = int(np.searchsorted(self._pos, hi_w, side="right"))
+            return [slice(a, b)]
+        # Wrapped arc: [lo_w, 1) union [0, hi_w].
+        a = int(np.searchsorted(self._pos, lo_w, side="left"))
+        b = int(np.searchsorted(self._pos, hi_w, side="right"))
+        return [slice(a, self._pos.size), slice(0, b)]
+
+    def indices_in_arc(self, arc: Arc) -> np.ndarray:
+        """Sorted-array indices of all nodes inside the arc (endpoint-inclusive)."""
+        slices = self._segment_slices(arc.center - arc.radius, arc.center + arc.radius)
+        if len(slices) == 1:
+            return np.arange(slices[0].start, slices[0].stop)
+        return np.concatenate([np.arange(s.start, s.stop) for s in slices])
+
+    def ids_in_arc(self, arc: Arc) -> np.ndarray:
+        """Ids of all nodes within ``arc.radius`` of ``arc.center``."""
+        return self._ids[self.indices_in_arc(arc)]
+
+    def ids_within(self, center: float, radius: float) -> np.ndarray:
+        """Ids of all nodes ``v`` with ``d(v, center) <= radius``.
+
+        Hot path: equivalent to ``ids_in_arc(Arc(center, radius))`` but
+        avoids Arc construction and fancy indexing (called per routed hop).
+        """
+        if radius >= 0.5:
+            return self._ids
+        pos = self._pos
+        lo = (center - radius) % 1.0
+        hi = (center + radius) % 1.0
+        if lo >= 1.0:  # float edge: tiny negative wraps to exactly 1.0
+            lo = 0.0
+        if lo <= hi:
+            a = pos.searchsorted(lo, "left")
+            b = pos.searchsorted(hi, "right")
+            return self._ids[a:b]
+        a = pos.searchsorted(lo, "left")
+        b = pos.searchsorted(hi, "right")
+        return np.concatenate([self._ids[a:], self._ids[:b]])
+
+    def count_within(self, center: float, radius: float) -> int:
+        """Number of nodes within distance ``radius`` of ``center``."""
+        total = 0
+        for s in self._segment_slices(center - radius, center + radius):
+            total += s.stop - s.start
+        return total
+
+    def sorted_ids_in_arc(self, arc: Arc) -> np.ndarray:
+        """Ids inside the arc ordered by ring position starting at the arc's
+        counter-clockwise endpoint (used by A_SAMPLING's rank rule)."""
+        slices = self._segment_slices(arc.center - arc.radius, arc.center + arc.radius)
+        parts = [self._ids[s] for s in slices]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def closest(self, p: float) -> int:
+        """Id of the node closest to ``p`` (ties broken toward lower position)."""
+        if self._pos.size == 0:
+            raise ValueError("empty position index")
+        i = int(np.searchsorted(self._pos, p % 1.0))
+        candidates = {(i - 1) % self._pos.size, i % self._pos.size}
+        best = min(
+            candidates, key=lambda j: (ring_distance(self._pos[j], p), self._pos[j])
+        )
+        return int(self._ids[best])
+
+    def restricted(self, keep: Iterable[int]) -> "PositionIndex":
+        """A new index containing only the given node ids (e.g. churn survivors)."""
+        keep_set = set(keep)
+        return PositionIndex(
+            {int(i): float(p) for i, p in zip(self._ids, self._pos) if int(i) in keep_set}
+        )

@@ -1,0 +1,116 @@
+"""Swarms — the logarithmic-size quorums that replace single nodes.
+
+For a point ``p`` the *swarm* ``S(p)`` is the set of nodes within ring distance
+``c*lam/n`` of ``p`` (Section 3).  Swarms, not nodes, are the unit of the
+paper's routing and maintenance: a message is held by a swarm, and the overlay
+stays routable as long as every swarm is *good* — at least a ``3/4`` fraction
+of its members survive into the next round (Definition 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Callable
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.overlay.positions import PositionIndex
+from repro.util.intervals import Arc
+
+__all__ = ["swarm_arc", "swarm_members", "SwarmStats", "audit_goodness"]
+
+
+def swarm_arc(p: float, params: ProtocolParams) -> Arc:
+    """The arc covered by swarm ``S(p)``."""
+    return Arc(p, params.swarm_radius)
+
+
+def swarm_members(
+    index: PositionIndex, p: float, params: ProtocolParams
+) -> np.ndarray:
+    """Ids of all nodes in ``S(p)`` under the given position snapshot."""
+    return index.ids_within(p, params.swarm_radius)
+
+
+@dataclass(frozen=True)
+class SwarmStats:
+    """Aggregate swarm statistics over a position snapshot.
+
+    ``min_size``/``max_size`` are taken over the swarms of *every node
+    position* (a standard epsilon-net argument: if every node-centred swarm is
+    large enough, so is every point-centred swarm up to one radius of slack).
+    ``min_good_fraction`` additionally needs a survivor predicate.
+    """
+
+    count: int
+    min_size: int
+    max_size: int
+    mean_size: float
+    min_good_fraction: float
+
+    @property
+    def all_nonempty(self) -> bool:
+        return self.count == 0 or self.min_size > 0
+
+
+def audit_goodness(
+    index: PositionIndex,
+    params: ProtocolParams,
+    survives: Callable[[int], bool] | AbstractSet[int] | None = None,
+    centers: np.ndarray | None = None,
+) -> SwarmStats:
+    """Measure swarm sizes and goodness over a snapshot.
+
+    Parameters
+    ----------
+    survives:
+        Either a predicate or a set of node ids that remain alive two rounds
+        later (Definition 8 requires ``|S_t(p) ∩ V_{t+2}| >= 3/4 |S_t(p)|``).
+        ``None`` means "everyone survives".
+    centers:
+        Points at which to evaluate swarms; defaults to every node position
+        plus the midpoints between ring-adjacent nodes (a finite set that
+        witnesses the extremes over all ``p in [0, 1)``: swarm membership only
+        changes when ``p`` crosses a point at distance exactly ``c*lam/n``
+        from some node, and between consecutive breakpoints the swarm is
+        constant — node positions and adjacent midpoints hit every such cell).
+    """
+    pos = index.sorted_positions
+    if centers is None:
+        if pos.size == 0:
+            return SwarmStats(0, 0, 0, 0.0, 1.0)
+        mids = (pos + np.diff(np.concatenate([pos, [pos[0] + 1.0]])) / 2.0) % 1.0
+        centers = np.concatenate([pos, mids])
+
+    if survives is None:
+        is_good = None
+    elif callable(survives):
+        is_good = {int(i) for i in index.ids if survives(int(i))}
+    else:
+        is_good = {int(i) for i in index.ids if int(i) in survives}
+
+    min_size = np.inf
+    max_size = 0
+    total = 0
+    min_frac = 1.0
+    for p in centers:
+        members = swarm_members(index, float(p), params)
+        size = members.size
+        min_size = min(min_size, size)
+        max_size = max(max_size, size)
+        total += size
+        if is_good is not None and size > 0:
+            good = sum(1 for m in members if int(m) in is_good)
+            min_frac = min(min_frac, good / size)
+    count = len(centers)
+    mean = total / count if count else 0.0
+    if min_size is np.inf:
+        min_size = 0
+    return SwarmStats(
+        count=count,
+        min_size=int(min_size),
+        max_size=int(max_size),
+        mean_size=float(mean),
+        min_good_fraction=float(min_frac),
+    )

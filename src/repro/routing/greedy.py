@@ -1,0 +1,116 @@
+"""Greedy single-copy routing on the classical LDG — the fragile baseline.
+
+Classical Linearized De Bruijn routing (Richa et al.): adapt the target
+address bit by bit using the De Bruijn contacts, then walk list (ring) edges
+to the destination.  One copy, constant degree — ``O(log n)`` hops, but a
+single churned-out node on the path loses the message, and an up-to-date
+adversary can simply follow the message.  This is the baseline A_ROUTING's
+swarm redundancy is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.overlay.ldg import LDGGraph
+from repro.util.bits import address_of
+from repro.util.intervals import ring_distance, wrap
+
+__all__ = ["GreedyOutcome", "GreedyRouter"]
+
+
+@dataclass
+class GreedyOutcome:
+    """Fate of one greedy-routed message."""
+
+    origin: int
+    target: float
+    path: list[int] = field(default_factory=list)
+    delivered: bool = False
+    failed_at: int | None = None
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class GreedyRouter:
+    """Hop-per-round greedy routing with churn injected between rounds."""
+
+    def __init__(self, graph: LDGGraph, lam: int) -> None:
+        self.graph = graph
+        self.lam = lam
+        self.alive: set[int] = {int(v) for v in graph.node_ids}
+        # In-flight: msg_id -> (outcome, current holder, remaining target bits)
+        self._inflight: dict[int, tuple[GreedyOutcome, int, list[int]]] = {}
+        self.outcomes: list[GreedyOutcome] = []
+        self._next_id = 0
+        self.round = 0
+
+    def kill(self, node_ids: Iterable[int]) -> None:
+        self.alive.difference_update(int(v) for v in node_ids)
+
+    @property
+    def pending(self) -> int:
+        return len(self._inflight)
+
+    def send(self, origin: int, target: float) -> int:
+        """Start routing from ``origin`` to the node closest to ``target``."""
+        if origin not in self.alive:
+            raise ValueError(f"origin {origin} is not alive")
+        outcome = GreedyOutcome(origin=origin, target=target, path=[origin])
+        # Bits pushed least-significant-first (Section 4.1).
+        addr = address_of(target, self.lam)
+        bits = [(addr >> i) & 1 for i in range(self.lam)]
+        msg_id = self._next_id
+        self._next_id += 1
+        self._inflight[msg_id] = (outcome, origin, bits)
+        self.outcomes.append(outcome)
+        return msg_id
+
+    def _closest_neighbor(self, v: int, point: float) -> int:
+        """The neighbour of ``v`` (or ``v`` itself) closest to ``point``."""
+        best = v
+        best_d = ring_distance(self.graph.index.position(v), point)
+        for w in self.graph.neighbors(v):
+            d = ring_distance(self.graph.index.position(w), point)
+            if d < best_d:
+                best, best_d = w, d
+        return best
+
+    def step(self) -> None:
+        """Advance every in-flight message by one hop."""
+        done: list[int] = []
+        for msg_id, (outcome, holder, bits) in self._inflight.items():
+            if holder not in self.alive:
+                outcome.failed_at = self.round
+                done.append(msg_id)
+                continue
+            if bits:
+                bit = bits.pop(0)
+                point = wrap((self.graph.index.position(holder) + bit) / 2.0)
+            else:
+                point = outcome.target
+            nxt = self._closest_neighbor(holder, point)
+            if not bits and nxt == holder:
+                # Local minimum on the ring walk: we are at the closest node.
+                outcome.delivered = True
+                done.append(msg_id)
+                continue
+            outcome.path.append(nxt)
+            self._inflight[msg_id] = (outcome, nxt, bits)
+        for msg_id in done:
+            del self._inflight[msg_id]
+        self.round += 1
+
+    def run_until_quiet(self, max_rounds: int | None = None) -> None:
+        limit = max_rounds if max_rounds is not None else 8 * self.lam + 16
+        for _ in range(limit):
+            if not self._inflight:
+                return
+            self.step()
+        # Anything still in flight after the bound counts as undelivered.
+        for outcome, _, _ in self._inflight.values():
+            outcome.failed_at = self.round
+        self._inflight.clear()

@@ -1,0 +1,101 @@
+"""Message types for A_ROUTING / A_SAMPLING.
+
+A :class:`RoutedMessage` is the immutable description of one routing request:
+origin, target point, the full trajectory (computed once at the origin, per
+Definition 7 — all forwarding decisions derive from it), an optional sampling
+rank ``Delta`` (set by A_SAMPLING, ``None`` for plain swarm delivery) and an
+application payload.
+
+A :class:`Hop` is what actually travels: the shared message plus the step
+index ``k`` — the hop's recipients are (supposed to be) members of the swarm
+``S(x_k)`` of trajectory point ``x_k``.  Hops are tiny and immutable so a
+multicast can share one instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overlay.trajectory import trajectory
+
+__all__ = ["RoutedMessage", "Hop", "make_routed_message"]
+
+
+@dataclass(frozen=True)
+class RoutedMessage:
+    """One routing request (shared by all of its in-flight copies).
+
+    ``msg_id`` is any hashable value; the maintenance protocol uses tuples
+    like ``("join", node, epoch, origin)`` so that logically identical
+    requests deduplicate at receivers.
+    """
+
+    msg_id: object
+    origin: int
+    target: float
+    trajectory: tuple[float, ...]
+    start_round: int
+    sample_rank: int | None = None
+    payload: object = None
+
+    @property
+    def final_step(self) -> int:
+        """Index of the last trajectory point (``lam + 1``)."""
+        return len(self.trajectory) - 1
+
+    @property
+    def is_sampling(self) -> bool:
+        """Whether this request uses A_SAMPLING's rank-Delta delivery rule."""
+        return self.sample_rank is not None
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One in-flight copy: the message at trajectory step ``k``."""
+
+    msg: RoutedMessage
+    step: int
+
+    def advanced(self) -> "Hop":
+        """The hop for the next trajectory step."""
+        return Hop(self.msg, self.step + 1)
+
+    @property
+    def point(self) -> float:
+        """The trajectory point whose swarm currently holds this hop."""
+        return self.msg.trajectory[self.step]
+
+    @property
+    def at_final_swarm(self) -> bool:
+        return self.step >= self.msg.final_step
+
+
+def make_routed_message(
+    msg_id: object,
+    origin: int,
+    origin_position: float,
+    target: float,
+    lam: int,
+    start_round: int,
+    sample_rank: int | None = None,
+    payload: object = None,
+    trajectory_fn: object = None,
+) -> RoutedMessage:
+    """Build a request with its trajectory precomputed.
+
+    ``trajectory_fn(origin_position, target, lam)`` defaults to the
+    Definition-7 De Bruijn trajectory; the Chord-swarm transfer passes
+    :func:`repro.overlay.chordswarm.chord_trajectory` instead.  Any function
+    producing ``lam + 2`` points whose consecutive swarms are adjacent in
+    the underlying topology works.
+    """
+    fn = trajectory if trajectory_fn is None else trajectory_fn
+    return RoutedMessage(
+        msg_id=msg_id,
+        origin=origin,
+        target=target,
+        trajectory=fn(origin_position, target, lam),
+        start_round=start_round,
+        sample_rank=sample_rank,
+        payload=payload,
+    )

@@ -1,0 +1,344 @@
+"""A_ROUTING over a routable series of LDS overlays (Section 4).
+
+This runner simulates the routing algorithm of Listing 1 on a *routable
+series* ``D = (D_1, H_1, D_2, H_2, ...)`` (Definition 8): the overlays and
+handover graphs are assumed to exist — provided here by a position oracle —
+which is exactly Section 4's setting.  (Section 5's maintenance algorithm,
+which *constructs* the series message-by-message, lives in
+:mod:`repro.core`.)
+
+Round choreography (reconstructed from Listing 1 + Lemma 10, see DESIGN.md):
+
+* **odd rounds** — *handover*: each holder of an in-flight hop forwards it to
+  ``r`` nodes chosen uniformly (with replacement) from the *next* overlay's
+  swarm of the same trajectory point.  Newly initiated messages perform their
+  initial multicast to the whole swarm ``S(x_0)`` of the origin's position.
+* **even rounds** — *forwarding*: each holder advances the hop one trajectory
+  step, sending ``r`` copies into ``S(x_{k+1})``; the final step
+  (``k+1 = lam+1``, where ``x_{lam+1} ≈ x_lam``) is a full-swarm broadcast so
+  the entire target swarm receives the message.
+
+A message whose initial multicast is sent in (odd) round ``R`` completes
+delivery in round ``R + 2*lam + 2`` — the paper's exact dilation.  Messages
+handed to the router during an even round are held one round (the "held
+back" rule of Listing 1).
+
+Churn: callers remove nodes between rounds via :meth:`SeriesRouter.kill`;
+dead holders do not forward, dead recipients do not receive, and the routing
+succeeds as long as swarms stay *good* (Lemma 11).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import ProtocolParams
+from repro.overlay.positions import PositionIndex
+from repro.routing.messages import RoutedMessage, make_routed_message
+from repro.routing.sampling import draw_sample_rank, sampling_recipient
+from repro.sim.metrics import MetricsCollector
+from repro.util.rngs import RngService
+
+__all__ = ["RoutingOutcome", "SeriesRouter"]
+
+
+@dataclass
+class RoutingOutcome:
+    """Final fate of one routed message."""
+
+    msg: RoutedMessage
+    initial_round: int | None = None
+    delivered_round: int | None = None
+    receivers: frozenset[int] = frozenset()
+    sample_receiver: int | None = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_round is not None and bool(self.receivers)
+
+    @property
+    def dilation(self) -> int | None:
+        """Rounds from initial multicast to completed swarm delivery."""
+        if self.delivered_round is None or self.initial_round is None:
+            return None
+        return self.delivered_round - self.initial_round
+
+
+class SeriesRouter:
+    """Simulates A_ROUTING / A_SAMPLING on an oracle-provided routable series."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        node_ids: Iterable[int] | None = None,
+        *,
+        reconfigure: bool = True,
+        seed: int | None = None,
+        record_holders: bool = False,
+        trajectory_fn: object = None,
+        reposition_every: int = 1,
+    ) -> None:
+        if reposition_every < 1:
+            raise ValueError("reposition_every must be at least 1")
+        self.params = params
+        self.reconfigure = reconfigure
+        #: How many 2-round overlay cycles share one position draw.  1 is
+        #: the paper's design (new positions every cycle); larger values
+        #: model slower-reconfiguring designs (SPARTAN-style); with
+        #: ``reconfigure=False`` positions never move at all.
+        self.reposition_every = reposition_every
+        #: Trajectory generator — Definition 7 (De Bruijn) by default; pass
+        #: ``chord_trajectory`` to route on the Chord-swarm transfer.  The
+        #: edge-legality of each hop is the corresponding graph class's
+        #: adjacency lemma (Lemma 6 / the finger property), tested separately.
+        self.trajectory_fn = trajectory_fn
+        self._rng_service = RngService(params.seed if seed is None else seed)
+        self.rng = self._rng_service.stream("series-router")
+        self._hash = self._rng_service.position_hash()
+        ids = list(range(params.n)) if node_ids is None else [int(v) for v in node_ids]
+        self.alive: set[int] = set(ids)
+        #: Omission-faulty nodes: alive (they occupy swarm slots and receive
+        #: copies) but never forward.  A strictly harsher failure mode than
+        #: churn — the redundancy budget must absorb them on top of deaths.
+        self.muted: set[int] = set()
+        self._all_ids = tuple(ids)
+        self.round = 0
+        self._epoch_indexes: dict[int, PositionIndex] = {}
+        self._messages: dict[int, RoutedMessage] = {}
+        # msg_id -> (step k, holders receiving the hop at the start of `round`)
+        self._inflight: dict[int, tuple[int, set[int]]] = {}
+        self._pending_initial: list[RoutedMessage] = []
+        self.outcomes: dict[int, RoutingOutcome] = {}
+        self.metrics = MetricsCollector()
+        self._next_msg_id = 0
+        #: Per-round holder sets (what an a-late adversary reconstructs from
+        #: the communication graph).  Enabled for the lateness ablation.
+        self.record_holders = record_holders
+        self.holder_history: dict[int, dict[int, frozenset[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Overlay oracle
+    # ------------------------------------------------------------------
+
+    def epoch_at(self, t: int) -> int:
+        """The overlay epoch current during round ``t`` (D_e for t in {2e, 2e+1})."""
+        return t // 2
+
+    def index(self, epoch: int) -> PositionIndex:
+        """Position table of overlay ``D_epoch``.
+
+        Membership freezes to the nodes alive when the epoch is first
+        consulted (the series abstraction of "D_t consists of the nodes whose
+        join requests landed").  With ``reconfigure=False`` positions are the
+        epoch-0 ones throughout, modelling a static overlay.
+        """
+        cached = self._epoch_indexes.get(epoch)
+        if cached is None:
+            e = (epoch // self.reposition_every) if self.reconfigure else 0
+            cached = PositionIndex(
+                {v: self._hash.position(v, e) for v in sorted(self.alive)}
+            )
+            self._epoch_indexes[epoch] = cached
+        return cached
+
+    def position_of(self, v: int, epoch: int) -> float:
+        e = (epoch // self.reposition_every) if self.reconfigure else 0
+        return self._hash.position(v, e)
+
+    # ------------------------------------------------------------------
+    # API: initiating messages and applying churn
+    # ------------------------------------------------------------------
+
+    def send(
+        self, origin: int, target: float, payload: object = None
+    ) -> int:
+        """Route ``payload`` from ``origin`` to swarm ``S(target)``.
+
+        Returns the message id; the outcome appears in :attr:`outcomes` once
+        the run progresses far enough.
+        """
+        return self._enqueue(origin, target, sample_rank=None, payload=payload)
+
+    def send_sample(self, origin: int, payload: object = None) -> int:
+        """A_SAMPLING: route to a uniformly random node (or discard, p<=1/2)."""
+        target = float(self.rng.random())
+        delta = draw_sample_rank(self.rng, self.params)
+        return self._enqueue(origin, target, sample_rank=delta, payload=payload)
+
+    def _enqueue(
+        self, origin: int, target: float, sample_rank: int | None, payload: object
+    ) -> int:
+        if origin not in self.alive:
+            raise ValueError(f"origin {origin} is not alive")
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        # x_0 is the origin's position in the overlay the initial multicast
+        # will land in (the next epoch at the upcoming odd round).
+        next_odd = self.round if self.round % 2 == 1 else self.round + 1
+        epoch = self.epoch_at(next_odd) + 1
+        msg = make_routed_message(
+            msg_id=msg_id,
+            origin=origin,
+            origin_position=self.position_of(origin, epoch),
+            target=target,
+            lam=self.params.lam,
+            start_round=self.round,
+            sample_rank=sample_rank,
+            payload=payload,
+            trajectory_fn=self.trajectory_fn,
+        )
+        self._messages[msg_id] = msg
+        self._pending_initial.append(msg)
+        self.outcomes[msg_id] = RoutingOutcome(msg=msg)
+        return msg_id
+
+    def kill(self, node_ids: Iterable[int]) -> None:
+        """Churn out nodes (takes effect immediately: they stop forwarding)."""
+        self.alive.difference_update(int(v) for v in node_ids)
+
+    def mute(self, node_ids: Iterable[int]) -> None:
+        """Make nodes omission-faulty: they receive but never forward."""
+        self.muted.update(int(v) for v in node_ids)
+
+    def join(self, count: int = 1) -> list[int]:
+        """Add fresh nodes (replacement churn).
+
+        Newcomers take part from the next overlay epoch that has not been
+        materialised yet — the series abstraction of the join pipeline.
+        """
+        base = (max(self._all_ids) + 1) if self._all_ids else 0
+        base = max(base, max(self.alive, default=-1) + 1)
+        new_ids = list(range(base, base + count))
+        self.alive.update(new_ids)
+        self._all_ids = tuple(list(self._all_ids) + new_ids)
+        return new_ids
+
+    @property
+    def pending(self) -> int:
+        """Messages still in flight or awaiting their initial multicast."""
+        return len(self._inflight) + len(self._pending_initial)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def _pick(self, members: np.ndarray, count: int) -> np.ndarray:
+        """``count`` u.i.r. (with replacement) picks from a member array."""
+        idx = self.rng.integers(0, members.size, size=count)
+        return members[idx]
+
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        t = self.round
+        params = self.params
+        sent: defaultdict[int, int] = defaultdict(int)
+        received: defaultdict[int, int] = defaultdict(int)
+        next_inflight: dict[int, tuple[int, set[int]]] = {}
+
+        if t % 2 == 1:
+            # ---- Odd round: handover (+ initial multicasts). -------------
+            idx_next = self.index(self.epoch_at(t) + 1)
+            for msg_id, (k, holders) in self._inflight.items():
+                msg = self._messages[msg_id]
+                members = idx_next.ids_within(
+                    msg.trajectory[k], params.swarm_radius
+                )
+                new_holders: set[int] = set()
+                for h in holders:
+                    if h not in self.alive or h in self.muted or members.size == 0:
+                        continue
+                    picks = self._pick(members, params.r)
+                    sent[h] += params.r
+                    for w in picks:
+                        w = int(w)
+                        received[w] += 1
+                        if w in self.alive:
+                            new_holders.add(w)
+                if new_holders:
+                    next_inflight[msg_id] = (k, new_holders)
+            for msg in self._pending_initial:
+                if msg.origin not in self.alive or msg.origin in self.muted:
+                    continue
+                members = idx_next.ids_within(
+                    msg.trajectory[0], params.swarm_radius
+                )
+                if members.size == 0:
+                    continue
+                sent[msg.origin] += int(members.size)
+                holders: set[int] = set()
+                for w in members:
+                    w = int(w)
+                    received[w] += 1
+                    if w in self.alive:
+                        holders.add(w)
+                self.outcomes[msg.msg_id].initial_round = t
+                if holders:
+                    next_inflight[msg.msg_id] = (0, holders)
+            self._pending_initial.clear()
+        else:
+            # ---- Even round: forwarding. ---------------------------------
+            idx_cur = self.index(self.epoch_at(t))
+            for msg_id, (k, holders) in self._inflight.items():
+                msg = self._messages[msg_id]
+                next_k = k + 1
+                point = msg.trajectory[next_k]
+                members = idx_cur.ids_within(point, params.swarm_radius)
+                live_holders = [
+                    h for h in holders if h in self.alive and h not in self.muted
+                ]
+                if not live_holders or members.size == 0:
+                    continue
+                if next_k == msg.final_step:
+                    # Full-swarm delivery: every holder broadcasts to S(p).
+                    receivers: set[int] = set()
+                    for h in live_holders:
+                        sent[h] += int(members.size)
+                    for w in members:
+                        w = int(w)
+                        received[w] += len(live_holders)
+                        if w in self.alive:
+                            receivers.add(w)
+                    outcome = self.outcomes[msg_id]
+                    outcome.delivered_round = t + 1
+                    outcome.receivers = frozenset(receivers)
+                    if msg.is_sampling:
+                        chosen = sampling_recipient(
+                            idx_cur, msg.target, msg.sample_rank, params
+                        )
+                        if chosen is not None and chosen in receivers:
+                            outcome.sample_receiver = chosen
+                else:
+                    new_holders = set()
+                    for h in live_holders:
+                        picks = self._pick(members, params.r)
+                        sent[h] += params.r
+                        for w in picks:
+                            w = int(w)
+                            received[w] += 1
+                            if w in self.alive:
+                                new_holders.add(w)
+                    if new_holders:
+                        next_inflight[msg_id] = (next_k, new_holders)
+
+        self._inflight = next_inflight
+        if self.record_holders:
+            for msg_id, (_, holders) in next_inflight.items():
+                self.holder_history.setdefault(msg_id, {})[t + 1] = frozenset(holders)
+        self.metrics.record_round(t, dict(sent), dict(received), len(self.alive))
+        self.round += 1
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.step()
+
+    def run_until_quiet(self, max_rounds: int | None = None) -> None:
+        """Run until no messages remain in flight (or the bound is hit)."""
+        limit = max_rounds if max_rounds is not None else 4 * self.params.dilation
+        for _ in range(limit):
+            if not self.pending:
+                return
+            self.step()

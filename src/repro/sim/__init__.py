@@ -1,0 +1,30 @@
+"""Synchronous-round simulation substrate: engine, network, trace, metrics."""
+
+from repro.sim.engine import (
+    Engine,
+    EngineServices,
+    JoinNotice,
+    NodeContext,
+    NodeProtocol,
+    RoundReport,
+)
+from repro.sim.identity import Lifecycle, NodeRecord
+from repro.sim.metrics import MetricsCollector, RoundMetrics
+from repro.sim.network import Inbox, Network
+from repro.sim.trace import GraphTrace
+
+__all__ = [
+    "Engine",
+    "EngineServices",
+    "GraphTrace",
+    "Inbox",
+    "JoinNotice",
+    "Lifecycle",
+    "MetricsCollector",
+    "Network",
+    "NodeContext",
+    "NodeProtocol",
+    "NodeRecord",
+    "RoundMetrics",
+    "RoundReport",
+]

@@ -1,0 +1,270 @@
+"""The synchronous round engine — the paper's execution model.
+
+Each round ``t`` unfolds exactly as in Section 1.1:
+
+1. **Adversary phase** — before any message is received, the adversary picks
+   a set ``O_t ⊆ V_{t-1}`` of leaving nodes (they receive nothing and vanish
+   immediately) and a set of joining nodes, each with a bootstrap node from
+   ``V_t ∩ V_{t-2}`` that receives the newcomer's reference this round.  The
+   decision is validated against the churn budget (:class:`ChurnLedger`).
+2. **Receive phase** — messages sent in round ``t-1`` are delivered to the
+   surviving receivers.
+3. **Compute + send phase** — every alive node runs its protocol step; sends
+   become the edge set ``E_t`` and are delivered next round.
+
+The engine records the graph trace (what the ``a``-late adversary sees),
+collects congestion metrics, and hands each node only its own context — no
+protocol can peek at global state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.adversary.base import Adversary, ChurnDecision
+from repro.adversary.budget import ChurnLedger, ChurnViolation
+from repro.adversary.view import AdversaryView
+from repro.config import ProtocolParams
+from repro.sim.identity import Lifecycle
+from repro.sim.metrics import MetricsCollector, RoundMetrics
+from repro.sim.network import Inbox, Network
+from repro.sim.trace import GraphTrace
+from repro.util.rngs import PositionHash, RngService
+
+__all__ = [
+    "JoinNotice",
+    "EngineServices",
+    "NodeContext",
+    "NodeProtocol",
+    "RoundReport",
+    "Engine",
+]
+
+
+@dataclass(frozen=True)
+class JoinNotice:
+    """Delivered to a bootstrap node when a new node joins via it (round t)."""
+
+    new_id: int
+
+
+@dataclass(frozen=True)
+class EngineServices:
+    """Engine-level services available to protocol instances.
+
+    ``position_hash`` is the paper's uniform hash ``h(v, epoch)`` known to all
+    nodes (but not to the adversary); ``rng`` hands out per-node protocol
+    randomness streams.
+    """
+
+    params: ProtocolParams
+    rng: RngService
+    position_hash: PositionHash
+
+
+class NodeContext:
+    """One node's window onto a single round."""
+
+    __slots__ = ("node_id", "round", "inbox", "rng", "params", "joined_round", "_network")
+
+    def __init__(
+        self,
+        node_id: int,
+        t: int,
+        inbox: Inbox,
+        rng: np.random.Generator,
+        params: ProtocolParams,
+        joined_round: int,
+        network: Network,
+    ) -> None:
+        self.node_id = node_id
+        self.round = t
+        self.inbox = inbox
+        self.rng = rng
+        self.params = params
+        self.joined_round = joined_round
+        self._network = network
+
+    @property
+    def age(self) -> int:
+        """Rounds since this node joined (0 during its join round)."""
+        return self.round - self.joined_round
+
+    def send(self, dst: int, msg: object) -> None:
+        """Send ``msg`` to node ``dst`` (delivered next round)."""
+        self._network.send(self.node_id, dst, msg)
+
+    def send_many(self, dsts: Sequence[int] | Iterable[int], msg: object) -> None:
+        """Send the same message to several nodes."""
+        self._network.send_many(self.node_id, dsts, msg)
+
+
+class NodeProtocol(abc.ABC):
+    """Per-node protocol state machine."""
+
+    @abc.abstractmethod
+    def on_round(self, ctx: NodeContext) -> None:
+        """Handle one round: read ``ctx.inbox``, update state, send messages."""
+
+
+ProtocolFactory = Callable[[int, EngineServices], NodeProtocol]
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """What happened in one engine round."""
+
+    round: int
+    decision: ChurnDecision
+    rejected: str | None
+    metrics: RoundMetrics
+
+    @property
+    def alive(self) -> int:
+        return self.metrics.alive
+
+
+class Engine:
+    """Drives the synchronous execution of a protocol under an adversary."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        protocol_factory: ProtocolFactory,
+        adversary: Adversary | None = None,
+        *,
+        trace_depth: int = 16,
+        strict_budget: bool = True,
+        join_min_age: int = 2,
+    ) -> None:
+        self.params = params
+        self.rng_service = RngService(params.seed)
+        self.services = EngineServices(
+            params=params,
+            rng=self.rng_service,
+            position_hash=self.rng_service.position_hash(),
+        )
+        self.protocol_factory = protocol_factory
+        self.adversary = adversary
+        self.strict_budget = strict_budget
+        self.lifecycle = Lifecycle()
+        self.network = Network()
+        self.trace = GraphTrace(edge_depth=trace_depth)
+        self.metrics = MetricsCollector()
+        self.ledger = ChurnLedger(params, join_min_age=join_min_age)
+        self.round = 0
+        self._protocols: dict[int, NodeProtocol] = {}
+        self._rngs: dict[int, np.random.Generator] = {}
+        self.reports: list[RoundReport] = []
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+
+    def seed_nodes(self, node_ids: Iterable[int]) -> None:
+        """Create the initial population ``V_0`` (before the first round).
+
+        Seeded nodes are treated as having joined "long ago" (negative join
+        round) so age-based maturity predicates hold from round 0 — the paper
+        assumes the bootstrap phase starts from an already-connected network.
+        """
+        if self.round != 0 or self.lifecycle.records:
+            raise RuntimeError("seed_nodes must be called once, before running")
+        for v in node_ids:
+            self.lifecycle.add(int(v), joined_round=-(10**6))
+            self._spawn(int(v))
+
+    def _spawn(self, v: int) -> None:
+        self._protocols[v] = self.protocol_factory(v, self.services)
+        self._rngs[v] = self.rng_service.node_stream(v)
+
+    def protocol_of(self, v: int) -> NodeProtocol:
+        """The protocol instance of an alive node (for audits and tests)."""
+        return self._protocols[v]
+
+    @property
+    def alive(self) -> frozenset[int]:
+        return self.lifecycle.alive
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def run_round(self) -> RoundReport:
+        t = self.round
+
+        # 1. Adversary phase.
+        decision = ChurnDecision.none()
+        rejected: str | None = None
+        if self.adversary is not None and t >= self.adversary.active_from:
+            view = AdversaryView(
+                t,
+                self.trace,
+                self.lifecycle,
+                topology_lateness=getattr(self.adversary, "topology_lateness", 2),
+                state_lateness=getattr(self.adversary, "state_lateness", 10**9),
+                budget_remaining=self.ledger.remaining(t),
+            )
+            proposed = self.adversary.decide(view)
+            try:
+                self.ledger.validate(t, proposed, self.lifecycle)
+                decision = proposed
+            except ChurnViolation as exc:
+                if self.strict_budget:
+                    raise
+                rejected = str(exc)
+                self.adversary.notify_rejected(proposed, rejected)
+
+        for v in decision.leaves:
+            self.lifecycle.remove(v, t)
+            self._protocols.pop(v, None)
+            self._rngs.pop(v, None)
+        join_notices: dict[int, list[JoinNotice]] = {}
+        for j in decision.joins:
+            self.lifecycle.add(j.new_id, t)
+            self._spawn(j.new_id)
+            join_notices.setdefault(j.bootstrap_id, []).append(JoinNotice(j.new_id))
+        self.ledger.commit(t, decision)
+
+        # 2. Receive phase (post-churn survivors only).
+        alive = self.lifecycle.alive
+        inboxes, received = self.network.deliver(alive)
+        for w, notices in join_notices.items():
+            # The reference arrives out of band (handed over by the adversary);
+            # it is knowledge, not a message, so it adds no edge.
+            inboxes.setdefault(w, []).extend((-1, n) for n in notices)
+
+        # 3. Compute + send phase, deterministic node order.
+        for v in sorted(alive):
+            ctx = NodeContext(
+                node_id=v,
+                t=t,
+                inbox=inboxes.get(v, []),
+                rng=self._rngs[v],
+                params=self.params,
+                joined_round=self.lifecycle.joined_round(v),
+                network=self.network,
+            )
+            self._protocols[v].on_round(ctx)
+
+        edges, sent = self.network.close_send_phase()
+        self.trace.record(
+            t,
+            edges,
+            alive,
+            joins=tuple(j.new_id for j in decision.joins),
+            leaves=tuple(decision.leaves),
+        )
+        metrics = self.metrics.record_round(t, sent, received, len(alive))
+        report = RoundReport(round=t, decision=decision, rejected=rejected, metrics=metrics)
+        self.reports.append(report)
+        self.round += 1
+        return report
+
+    def run(self, rounds: int) -> list[RoundReport]:
+        """Run ``rounds`` consecutive rounds and return their reports."""
+        return [self.run_round() for _ in range(rounds)]

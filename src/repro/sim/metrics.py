@@ -1,0 +1,87 @@
+"""Congestion and message accounting.
+
+The paper's headline complexity claim (Lemma 24) is ``O(log^3 n)`` messages
+per node per round.  :class:`MetricsCollector` tracks, per round, the maximum
+and mean number of messages sent/received per node, plus lifetime totals —
+without retaining per-node-per-round matrices (memory stays O(rounds + n)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Aggregated message statistics for one round."""
+
+    round: int
+    total_sent: int
+    max_sent: int
+    mean_sent: float
+    max_received: int
+    mean_received: float
+    alive: int
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-round aggregates over a run."""
+
+    history: list[RoundMetrics] = field(default_factory=list)
+
+    def record_round(
+        self,
+        t: int,
+        sent_per_node: dict[int, int],
+        received_per_node: dict[int, int],
+        alive_count: int,
+    ) -> RoundMetrics:
+        sent = np.fromiter(sent_per_node.values(), dtype=np.int64) if sent_per_node else np.zeros(1, dtype=np.int64)
+        recv = (
+            np.fromiter(received_per_node.values(), dtype=np.int64)
+            if received_per_node
+            else np.zeros(1, dtype=np.int64)
+        )
+        metrics = RoundMetrics(
+            round=t,
+            total_sent=int(sent.sum()),
+            max_sent=int(sent.max()),
+            mean_sent=float(sent.sum() / max(1, alive_count)),
+            max_received=int(recv.max()),
+            mean_received=float(recv.sum() / max(1, alive_count)),
+            alive=alive_count,
+        )
+        self.history.append(metrics)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        return len(self.history)
+
+    def peak_congestion(self) -> int:
+        """Highest per-node message count (sent or received) in any round."""
+        if not self.history:
+            return 0
+        return max(max(m.max_sent, m.max_received) for m in self.history)
+
+    def mean_congestion(self) -> float:
+        """Mean messages sent per node per round over the whole run."""
+        if not self.history:
+            return 0.0
+        return float(np.mean([m.mean_sent for m in self.history]))
+
+    def total_messages(self) -> int:
+        return sum(m.total_sent for m in self.history)
+
+    def congestion_series(self) -> np.ndarray:
+        """Per-round max_sent values, for scaling-law fits."""
+        return np.array([m.max_sent for m in self.history], dtype=np.int64)

@@ -1,0 +1,118 @@
+"""Message transport with the paper's delivery semantics.
+
+* A message sent in round ``t`` is received at the start of round ``t+1`` —
+  if and only if the receiver is still in the network (churned-out nodes
+  "do not receive any messages and leave immediately", while messages *they*
+  sent in ``t-1`` are still delivered).
+* Sending a message implicitly creates the directed edge ``(src, dst)`` in
+  ``G_t``; the per-round edge sets are what the ``a``-late adversary observes.
+
+The round boundary is split in two to honour these semantics:
+``close_send_phase`` (end of round ``t``) freezes ``E_t`` while the messages
+stay pending; ``deliver`` (start of round ``t+1``, *after* churn is applied)
+hands each surviving receiver its inbox.
+
+Multicasts (one payload to many receivers) are first-class: the payload object
+is shared, not copied, which keeps the ``O(log^3 n)``-messages-per-node
+protocol affordable in pure Python while message/edge counts stay exact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+__all__ = ["Network", "Inbox"]
+
+# An inbox is a list of (sender id, message object) pairs.
+Inbox = list[tuple[int, object]]
+
+
+class Network:
+    """Collects sends during a round and delivers them the next round."""
+
+    def __init__(self) -> None:
+        self._sending: list[tuple[int, int, object]] = []
+        self._sending_multi: list[tuple[int, tuple[int, ...], object]] = []
+        self._pending: list[tuple[int, int, object]] = []
+        self._pending_multi: list[tuple[int, tuple[int, ...], object]] = []
+        self._sent_counts: defaultdict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Sending (called by nodes during their compute phase)
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, msg: object) -> None:
+        """Send one message; creates edge ``(src, dst)`` this round."""
+        self._sending.append((src, int(dst), msg))
+        self._sent_counts[src] += 1
+
+    def send_many(
+        self, src: int, dsts: Sequence[int] | Iterable[int], msg: object
+    ) -> None:
+        """Multicast the same payload to several receivers (one edge each).
+
+        ``dsts`` may be any sequence, including a NumPy id array — receivers
+        are not copied or converted on this hot path (NumPy integer ids hash
+        and compare like Python ints).
+        """
+        if not hasattr(dsts, "__len__"):
+            dsts = tuple(dsts)
+        if len(dsts) == 0:
+            return
+        self._sending_multi.append((src, dsts, msg))
+        self._sent_counts[src] += len(dsts)
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any messages are awaiting delivery."""
+        return bool(
+            self._pending or self._pending_multi or self._sending or self._sending_multi
+        )
+
+    # ------------------------------------------------------------------
+    # Round boundary (called by the engine)
+    # ------------------------------------------------------------------
+
+    def close_send_phase(self) -> tuple[list[tuple[int, int]], dict[int, int]]:
+        """Freeze this round's sends: returns ``(E_t, sent_counts)``.
+
+        The messages move to the pending queue for next round's delivery.
+        """
+        edges: list[tuple[int, int]] = []
+        for src, dst, _ in self._sending:
+            edges.append((src, dst))
+        for src, dsts, _ in self._sending_multi:
+            for dst in dsts:
+                edges.append((src, dst))
+        sent = dict(self._sent_counts)
+        self._pending = self._sending
+        self._pending_multi = self._sending_multi
+        self._sending = []
+        self._sending_multi = []
+        self._sent_counts = defaultdict(int)
+        return edges, sent
+
+    def deliver(
+        self, alive: frozenset[int] | set[int]
+    ) -> tuple[dict[int, Inbox], dict[int, int]]:
+        """Deliver pending messages to surviving receivers.
+
+        Returns ``(inboxes, received_counts)``.  Must be called after the
+        round's churn has been applied so that churned-out nodes receive
+        nothing.
+        """
+        inboxes: dict[int, Inbox] = defaultdict(list)
+        received: defaultdict[int, int] = defaultdict(int)
+        for src, dst, msg in self._pending:
+            if dst in alive:
+                inboxes[dst].append((src, msg))
+                received[dst] += 1
+        for src, dsts, msg in self._pending_multi:
+            for dst in dsts:
+                if dst in alive:
+                    inboxes[dst].append((src, msg))
+                    received[dst] += 1
+        self._pending = []
+        self._pending_multi = []
+        return dict(inboxes), dict(received)

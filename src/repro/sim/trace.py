@@ -1,0 +1,106 @@
+"""The graph-series recorder — what the (a, b)-late adversary observes.
+
+The trace stores, per round ``t``:
+
+* the directed edge list ``E_t`` (who messaged whom), kept in a bounded ring
+  buffer because only the most recent ``depth`` rounds are ever consulted
+  (the adversary needs ``G_{t-a}`` with small ``a``; audits need a couple of
+  rounds of history);
+* the alive set ``V_t`` (small, kept for the whole run);
+* join/leave events.
+
+Access control (who may see which round) is *not* enforced here — that is the
+job of :class:`repro.adversary.view.AdversaryView`, which wraps a trace and
+clamps queries to the lateness bounds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["GraphTrace"]
+
+
+class GraphTrace:
+    """Bounded-memory recorder of the evolving communication graph."""
+
+    def __init__(self, edge_depth: int = 16) -> None:
+        if edge_depth < 1:
+            raise ValueError(f"edge_depth must be positive, got {edge_depth}")
+        self.edge_depth = edge_depth
+        self._edges: OrderedDict[int, list[tuple[int, int]]] = OrderedDict()
+        self._alive: dict[int, frozenset[int]] = {}
+        self._joins: dict[int, tuple[int, ...]] = {}
+        self._leaves: dict[int, tuple[int, ...]] = {}
+        self._last_round: int | None = None
+
+    @property
+    def last_round(self) -> int | None:
+        """Most recently recorded round, or ``None`` before the first record."""
+        return self._last_round
+
+    def record(
+        self,
+        t: int,
+        edges: list[tuple[int, int]],
+        alive: frozenset[int],
+        joins: tuple[int, ...] = (),
+        leaves: tuple[int, ...] = (),
+    ) -> None:
+        """Record one completed round (rounds must be recorded in order)."""
+        if self._last_round is not None and t != self._last_round + 1:
+            raise ValueError(
+                f"rounds must be recorded consecutively; got {t} after {self._last_round}"
+            )
+        self._edges[t] = edges
+        while len(self._edges) > self.edge_depth:
+            self._edges.popitem(last=False)
+        self._alive[t] = alive
+        self._joins[t] = tuple(joins)
+        self._leaves[t] = tuple(leaves)
+        self._last_round = t
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def edges_at(self, t: int) -> list[tuple[int, int]] | None:
+        """``E_t``, or ``None`` if that round was evicted or never recorded."""
+        return self._edges.get(t)
+
+    def alive_at(self, t: int) -> frozenset[int] | None:
+        """``V_t`` (after churn of round ``t`` was applied)."""
+        return self._alive.get(t)
+
+    def joins_at(self, t: int) -> tuple[int, ...]:
+        return self._joins.get(t, ())
+
+    def leaves_at(self, t: int) -> tuple[int, ...]:
+        return self._leaves.get(t, ())
+
+    def survivors(self, t0: int, t1: int) -> frozenset[int]:
+        """``V_{t0} ∩ V_{t1}`` — nodes present at both rounds (for audits)."""
+        a, b = self._alive.get(t0), self._alive.get(t1)
+        if a is None or b is None:
+            raise KeyError(f"rounds {t0}/{t1} not recorded")
+        return a & b
+
+    def out_neighbors_at(self, t: int, v: int) -> set[int]:
+        """Nodes ``v`` sent to in round ``t`` (empty if unknown/evicted)."""
+        edges = self._edges.get(t)
+        if edges is None:
+            return set()
+        return {dst for src, dst in edges if src == v}
+
+    def contacts_of(self, t: int, v: int) -> set[int]:
+        """All nodes that communicated with ``v`` in round ``t`` (either way)."""
+        edges = self._edges.get(t)
+        if edges is None:
+            return set()
+        out: set[int] = set()
+        for src, dst in edges:
+            if src == v:
+                out.add(dst)
+            elif dst == v:
+                out.add(src)
+        return out

@@ -1,0 +1,103 @@
+"""Fixed-point address arithmetic for De Bruijn routing.
+
+The linearized De Bruijn routing of the paper (Section 4.1, Definition 7) works
+on the ``lam`` most significant bits of a point ``p in [0, 1)``.  We represent a
+``lam``-bit address as the integer ``floor(p * 2**lam)`` and provide the bit
+push operation that underlies the trajectory:
+
+    step(v', bit) = (v' + bit) / 2
+
+pushed starting from the *least significant* bit of the target, so that after
+``lam`` steps the address equals the target's address.  In integer form, one
+step maps address ``X`` to ``(X >> 1) | (bit << (lam - 1))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "address_of",
+    "point_of",
+    "bits_of_address",
+    "address_from_bits",
+    "debruijn_step",
+    "debruijn_prefix_address",
+    "num_address_bits",
+]
+
+
+def num_address_bits(n: int, kappa: float) -> int:
+    """The address width ``lam = ceil(log2(kappa * n))``.
+
+    The paper sets ``lam = log(kappa * n)`` and assumes it is an integer; we
+    round up so that distinct points within ``1/(kappa*n)`` of each other can
+    still be separated by their addresses.
+    """
+    if n < 2:
+        raise ValueError(f"network size must be at least 2, got {n}")
+    if kappa < 1.0:
+        raise ValueError(f"kappa must be at least 1, got {kappa}")
+    return max(1, math.ceil(math.log2(kappa * n)))
+
+
+def address_of(p: float, lam: int) -> int:
+    """The ``lam`` most significant bits of ``p`` as an integer in ``[0, 2**lam)``."""
+    if not 0.0 <= p < 1.0:
+        p = p - math.floor(p)
+    addr = int(p * (1 << lam))
+    # Guard against floating point rounding p*2**lam up to 2**lam.
+    return min(addr, (1 << lam) - 1)
+
+
+def point_of(addr: int, lam: int) -> float:
+    """The left endpoint of the address cell: ``addr / 2**lam``."""
+    span = 1 << lam
+    if not 0 <= addr < span:
+        raise ValueError(f"address {addr} out of range for {lam} bits")
+    return addr / span
+
+
+def bits_of_address(addr: int, lam: int) -> tuple[int, ...]:
+    """Bits ``(b_1, ..., b_lam)`` most-significant first, as in Definition 7."""
+    return tuple((addr >> (lam - 1 - i)) & 1 for i in range(lam))
+
+
+def address_from_bits(bits: tuple[int, ...]) -> int:
+    """Inverse of :func:`bits_of_address`."""
+    addr = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {b}")
+        addr = (addr << 1) | b
+    return addr
+
+
+def debruijn_step(addr: int, bit: int, lam: int) -> int:
+    """One De Bruijn routing step: shift right, push ``bit`` as the new MSB.
+
+    Corresponds to the real-valued map ``x -> (x + bit) / 2`` up to the lost
+    least significant bit (an error of at most ``2**-lam``).
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    return (addr >> 1) | (bit << (lam - 1))
+
+
+def debruijn_prefix_address(src: int, dst: int, i: int, lam: int) -> int:
+    """Address after ``i`` trajectory steps from ``src`` toward ``dst``.
+
+    Pushing the ``i`` least significant bits of ``dst`` (LSB first) onto
+    ``src`` yields::
+
+        X_i = (dst's low i bits, in original order) . (src's high lam-i bits)
+
+    which is Definition 7's ``x_i``.  ``i = 0`` returns ``src``; ``i = lam``
+    returns ``dst``.
+    """
+    if not 0 <= i <= lam:
+        raise ValueError(f"step index {i} out of range [0, {lam}]")
+    if i == 0:
+        return src
+    low = dst & ((1 << i) - 1)
+    return (low << (lam - i)) | (src >> i)

@@ -1,0 +1,95 @@
+"""Structured per-round event logging (JSONL).
+
+Long adversarial runs are easier to debug from a replayable event stream
+than from print statements.  :class:`EventLog` records typed events with the
+round number, offers simple filtering, and serialises to JSON-lines.  The
+engine does not depend on it; attach one from run scripts via the runner or
+record manually in experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event."""
+
+    round: int
+    kind: str
+    fields: dict[str, Any]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"round": self.round, "kind": self.kind, **self.fields},
+            sort_keys=True,
+            default=str,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "Event":
+        data = json.loads(line)
+        t = data.pop("round")
+        kind = data.pop("kind")
+        return Event(round=t, kind=kind, fields=data)
+
+
+@dataclass
+class EventLog:
+    """An append-only event recorder with simple queries."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def log(self, round: int, kind: str, **fields: Any) -> Event:
+        if round < 0:
+            raise ValueError("round must be non-negative")
+        if not kind:
+            raise ValueError("kind must be non-empty")
+        event = Event(round=round, kind=kind, fields=fields)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def in_rounds(self, lo: int, hi: int) -> list[Event]:
+        """Events with ``lo <= round <= hi``."""
+        return [e for e in self.events if lo <= e.round <= hi]
+
+    def where(self, predicate: Callable[[Event], bool]) -> list[Event]:
+        return [e for e in self.events if predicate(e)]
+
+    def kinds(self) -> set[str]:
+        return {e.kind for e in self.events}
+
+    # -- persistence ------------------------------------------------------
+
+    def dump(self, path: str | Path) -> Path:
+        path = Path(path)
+        with path.open("w") as fh:
+            for e in self.events:
+                fh.write(e.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EventLog":
+        log = cls()
+        with Path(path).open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    log.events.append(Event.from_json(line))
+        return log
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for e in self.events:
+            yield e.to_json()

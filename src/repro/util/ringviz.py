@@ -1,0 +1,82 @@
+"""Text rendering of ring overlays — for examples and debugging.
+
+Renders the ``[0, 1)`` ring as a fixed-width ruler with density buckets,
+optional highlighted arcs (e.g. a node's Definition-5 neighbourhoods) and
+point markers.  Pure text so it works in any terminal and in doctests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.util.intervals import Arc
+
+__all__ = ["render_density", "render_arcs", "render_node_anatomy"]
+
+
+def _bucket_of(p: float, width: int) -> int:
+    return min(width - 1, int((p % 1.0) * width))
+
+
+def render_density(
+    positions: Mapping[int, float] | Iterable[float], width: int = 72
+) -> str:
+    """A density strip: each column counts the nodes in its ring bucket."""
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    values = (
+        list(positions.values()) if isinstance(positions, Mapping) else list(positions)
+    )
+    counts = [0] * width
+    for p in values:
+        counts[_bucket_of(float(p), width)] += 1
+    glyphs = " .:-=+*#%@"
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        strip = " " * width
+    else:
+        strip = "".join(
+            glyphs[min(len(glyphs) - 1, (c * (len(glyphs) - 1) + peak - 1) // peak)]
+            for c in counts
+        )
+    ruler = "0" + " " * (width // 2 - 2) + "½" + " " * (width - width // 2 - 2) + "1"
+    return f"|{strip}|\n {ruler}"
+
+
+def render_arcs(
+    arcs: Mapping[str, Arc], width: int = 72
+) -> str:
+    """One labelled row per arc, marking its covered buckets with ``#``."""
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    label_w = max((len(name) for name in arcs), default=0)
+    lines = []
+    for name, arc in arcs.items():
+        row = [" "] * width
+        for b in range(width):
+            center_of_bucket = (b + 0.5) / width
+            if arc.contains(center_of_bucket):
+                row[b] = "#"
+        # Always mark the arc centre even if narrower than one bucket.
+        row[_bucket_of(arc.center, width)] = "#"
+        lines.append(f"{name:>{label_w}} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_node_anatomy(graph, node_id: int, width: int = 72) -> str:
+    """Density strip plus the three Definition-5 arcs of one LDS node."""
+    from repro.overlay.lds import required_neighbor_arcs
+
+    p = graph.index.position(node_id)
+    arcs = required_neighbor_arcs(p, graph.params)
+    labelled = {
+        f"node {node_id} @ {p:.3f}": Arc(p, 0.0),
+        "list arc": arcs[0],
+        "DB arc v/2": arcs[1],
+        "DB arc (v+1)/2": arcs[2],
+    }
+    return (
+        render_density(graph.index.as_dict(), width)
+        + "\n"
+        + render_arcs(labelled, width)
+    )

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment in :mod:`repro.experiments` reports its result as rows of
+(possibly mixed-type) cells; this module renders them as aligned ASCII or
+GitHub-flavoured markdown so benchmark output can be diffed against
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting: floats to 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _stringify(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> list[list[str]]:
+    table = [list(map(str, header))]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells but header has {len(header)}: {row!r}"
+            )
+        table.append([format_value(cell) for cell in row])
+    return table
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    table = _stringify(header, rows)
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(cell.ljust(w) for cell, w in zip(table[0], widths)))
+    lines.append(sep)
+    for row in table[1:]:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    table = _stringify(header, rows)
+    lines = ["| " + " | ".join(table[0]) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in table[1:]:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

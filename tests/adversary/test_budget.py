@@ -1,0 +1,135 @@
+"""Tests for churn-budget enforcement (the model's adversary constraints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import ChurnDecision, JoinRequest
+from repro.adversary.budget import ChurnLedger, ChurnViolation
+from repro.config import ProtocolParams
+from repro.sim.identity import Lifecycle
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    return ProtocolParams(n=16, alpha=0.25, kappa=1.25)  # budget 4, max 20 nodes
+
+
+@pytest.fixture
+def lifecycle(params) -> Lifecycle:
+    lc = Lifecycle()
+    for i in range(params.n + 2):
+        lc.add(i, joined_round=-100)
+    return lc
+
+
+def leave(*ids) -> ChurnDecision:
+    return ChurnDecision(leaves=frozenset(ids))
+
+
+def join(t_new, bootstrap) -> ChurnDecision:
+    return ChurnDecision(joins=(JoinRequest(t_new, bootstrap),))
+
+
+class TestBudgetWindow:
+    def test_within_budget_ok(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        ledger.validate(10, leave(0, 1), lifecycle)
+
+    def test_over_budget_rejected(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        with pytest.raises(ChurnViolation, match="churn events"):
+            ledger.validate(10, leave(0, 1, 2, 3, 4), lifecycle)
+
+    def test_window_accumulates(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        ledger.commit(10, leave(0, 1, 2))
+        assert ledger.remaining(10) == 1
+        with pytest.raises(ChurnViolation):
+            ledger.validate(11, leave(3, 4), lifecycle)
+
+    def test_window_slides(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        ledger.commit(0, leave(0, 1, 2, 3))
+        assert ledger.remaining(0) == 0
+        t = params.churn_window  # round 0 falls out of window at this round
+        assert ledger.remaining(t) == params.churn_budget
+
+    def test_joins_count_toward_budget(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        ledger.commit(5, ChurnDecision(joins=tuple(JoinRequest(100 + i, i) for i in range(4))))
+        assert ledger.remaining(5) == 0
+
+
+class TestLeaveValidity:
+    def test_cannot_churn_dead_node(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        with pytest.raises(ChurnViolation, match="not alive"):
+            ledger.validate(10, leave(999), lifecycle)
+
+
+class TestJoinRules:
+    def test_valid_join(self, params, lifecycle):
+        ChurnLedger(params).validate(10, join(100, 0), lifecycle)
+
+    def test_bootstrap_must_be_two_rounds_old(self, params, lifecycle):
+        """The necessary condition from Lemma 4: w in V_t ∩ V_{t-2}."""
+        lifecycle.add(50, joined_round=9)
+        ledger = ChurnLedger(params)
+        with pytest.raises(ChurnViolation, match="2 rounds old"):
+            ledger.validate(10, join(100, 50), lifecycle)
+        # Two rounds later it becomes a legal bootstrap.
+        ledger.validate(11, join(100, 50), lifecycle)
+
+    def test_bootstrap_cannot_be_leaving(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        d = ChurnDecision(leaves=frozenset({0}), joins=(JoinRequest(100, 0),))
+        with pytest.raises(ChurnViolation, match="leaving"):
+            ledger.validate(10, d, lifecycle)
+
+    def test_bootstrap_cannot_be_joining(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        d = ChurnDecision(joins=(JoinRequest(100, 0), JoinRequest(101, 100)))
+        with pytest.raises(ChurnViolation, match="itself joining"):
+            ledger.validate(10, d, lifecycle)
+
+    def test_bootstrap_must_be_alive(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        with pytest.raises(ChurnViolation, match="not alive"):
+            ledger.validate(10, join(100, 998), lifecycle)
+
+    def test_ids_never_reused(self, params, lifecycle):
+        lifecycle.remove(5, 3)
+        ledger = ChurnLedger(params)
+        with pytest.raises(ChurnViolation, match="already used"):
+            ledger.validate(10, join(5, 0), lifecycle)
+
+    def test_duplicate_new_ids_rejected(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        d = ChurnDecision(joins=(JoinRequest(100, 0), JoinRequest(100, 1)))
+        with pytest.raises(ChurnViolation, match="duplicate"):
+            ledger.validate(10, d, lifecycle)
+
+    def test_join_fan_in_capped(self, params, lifecycle):
+        ledger = ChurnLedger(params)
+        joins = tuple(
+            JoinRequest(100 + i, 0) for i in range(params.max_joins_per_bootstrap + 1)
+        )
+        with pytest.raises(ChurnViolation, match="joins via"):
+            ledger.validate(10, ChurnDecision(joins=joins), lifecycle)
+
+
+class TestSizeBounds:
+    def test_cannot_shrink_below_n(self, params):
+        lc = Lifecycle()
+        for i in range(params.n):
+            lc.add(i, -100)
+        with pytest.raises(ChurnViolation, match="shrink"):
+            ChurnLedger(params).validate(10, leave(0), lc)
+
+    def test_cannot_grow_above_kappa_n(self, params):
+        lc = Lifecycle()
+        for i in range(params.max_nodes):
+            lc.add(i, -100)
+        with pytest.raises(ChurnViolation, match="grow"):
+            ChurnLedger(params).validate(10, join(1000, 0), lc)

@@ -1,0 +1,77 @@
+"""Tests for balls-into-bins occupancy laws (Lemma 11 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.balls_bins import (
+    expected_occupied_fraction,
+    min_r_for_occupancy,
+    occupied_bins_sample,
+    survival_fixpoint,
+)
+
+
+class TestExpectedOccupancy:
+    def test_zero_balls(self):
+        assert expected_occupied_fraction(0, 10) == 0.0
+
+    def test_many_balls_saturates(self):
+        assert expected_occupied_fraction(10_000, 10) == pytest.approx(1.0)
+
+    def test_one_ball(self):
+        assert expected_occupied_fraction(1, 10) == pytest.approx(0.1)
+
+    def test_matches_monte_carlo(self, rng):
+        balls, bins = 30, 20
+        samples = occupied_bins_sample(balls, bins, rng, trials=3000)
+        assert samples.mean() / bins == pytest.approx(
+            expected_occupied_fraction(balls, bins), rel=0.03
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_occupied_fraction(1, 0)
+        with pytest.raises(ValueError):
+            expected_occupied_fraction(-1, 5)
+
+
+class TestMinR:
+    def test_monotone_in_target(self):
+        assert min_r_for_occupancy(0.5, 0.9) >= min_r_for_occupancy(0.5, 0.5)
+
+    def test_achieves_target(self):
+        h, target = 0.375, 0.5  # half of a 3/4-good swarm holds
+        r = min_r_for_occupancy(h, target)
+        assert 1.0 - np.exp(-r * h) >= target
+
+    def test_paper_regime_is_constant(self):
+        """For goodness 3/4 and half-holders, a single-digit r suffices —
+        the quantitative content of 'a suitable r in Theta(1)'."""
+        assert min_r_for_occupancy(0.375, 0.5) <= 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            min_r_for_occupancy(0.0, 0.5)
+        with pytest.raises(ValueError):
+            min_r_for_occupancy(0.5, 1.0)
+
+
+class TestSurvivalFixpoint:
+    def test_paper_parameters_sustain_routing(self):
+        """r=2 with 3/4-good swarms keeps a constant holder fraction."""
+        assert survival_fixpoint(2, 0.75) > 0.4
+
+    def test_r1_with_heavy_churn_collapses(self):
+        """r=1 with goodness near the r*g <= 1 threshold collapses to ~0."""
+        assert survival_fixpoint(1, 0.6) < 0.05
+
+    def test_monotone_in_r(self):
+        assert survival_fixpoint(3, 0.75) >= survival_fixpoint(2, 0.75)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            survival_fixpoint(0, 0.75)
+        with pytest.raises(ValueError):
+            survival_fixpoint(2, 0.0)

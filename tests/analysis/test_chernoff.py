@@ -1,0 +1,72 @@
+"""Tests for Chernoff tail helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.chernoff import (
+    deviation_for_failure_prob,
+    lower_tail,
+    min_mu_for_whp,
+    upper_tail,
+    whp_threshold,
+)
+
+
+class TestTails:
+    def test_upper_decreases_in_delta(self):
+        assert upper_tail(50, 0.5) > upper_tail(50, 1.0)
+
+    def test_lower_decreases_in_mu(self):
+        assert lower_tail(10, 0.5) > lower_tail(100, 0.5)
+
+    def test_zero_delta_trivial(self):
+        assert upper_tail(50, 0.0) == 1.0
+        assert lower_tail(50, 0.0) == 1.0
+
+    def test_bounds_in_unit_interval(self):
+        for mu in (1, 10, 100):
+            for d in (0.1, 0.5, 1.0):
+                assert 0.0 < upper_tail(mu, d) <= 1.0
+                assert 0.0 < lower_tail(mu, d) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            lower_tail(10, 1.5)
+
+    def test_lower_tail_actually_bounds_binomial(self, rng):
+        """Empirical check: the bound dominates the observed tail."""
+        mu, trials = 40.0, 20000
+        draws = rng.binomial(80, 0.5, size=trials)  # mean 40
+        for delta in (0.25, 0.5):
+            observed = np.mean(draws <= (1 - delta) * mu)
+            assert observed <= lower_tail(mu, delta) + 0.01
+
+
+class TestInversions:
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1e-6, max_value=0.5),
+    )
+    def test_deviation_roundtrip(self, mu, p_fail):
+        d = deviation_for_failure_prob(mu, p_fail)
+        assert lower_tail(mu, min(d, 1.0)) <= p_fail + 1e-9 or d > 1.0
+
+    def test_min_mu_gives_whp(self):
+        n, k, delta = 1024, 1, 0.5
+        mu = min_mu_for_whp(n, k, delta)
+        assert lower_tail(mu, delta) <= whp_threshold(n, k) * 1.0001
+
+    def test_min_mu_is_logarithmic(self):
+        assert min_mu_for_whp(2**20) / min_mu_for_whp(2**10) == pytest.approx(2.0)
+
+    def test_whp_threshold(self):
+        assert whp_threshold(100, 2) == pytest.approx(1e-4)
+        with pytest.raises(ValueError):
+            whp_threshold(1, 1)

@@ -1,0 +1,54 @@
+"""Tests for knowledge-graph connectivity audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.connectivity import (
+    component_of,
+    components,
+    is_connected,
+    is_isolated,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        knows = {1: {2}, 2: {3}, 3: set()}
+        assert is_connected(knows)
+        assert components(knows) == [{1, 2, 3}]
+
+    def test_two_components(self):
+        knows = {1: {2}, 2: set(), 3: {4}, 4: set()}
+        comps = components(knows)
+        assert len(comps) == 2
+        assert {1, 2} in comps and {3, 4} in comps
+        assert not is_connected(knows)
+
+    def test_undirected_closure(self):
+        """u knowing v connects them both ways for partition purposes."""
+        knows = {1: {2}, 2: set()}
+        assert component_of(knows, 2) == {1, 2}
+
+    def test_edges_to_dead_nodes_ignored(self):
+        knows = {1: {99}, 2: {1}}  # 99 not alive
+        assert component_of(knows, 1) == {1, 2}
+
+    def test_empty_graph_connected(self):
+        assert is_connected({})
+
+    def test_component_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            component_of({1: set()}, 9)
+
+
+class TestIsolation:
+    def test_isolated_singleton(self):
+        knows = {1: set(), 2: {3}, 3: set()}
+        assert is_isolated(knows, 1)
+        assert not is_isolated(knows, 2)
+
+    def test_isolated_pair(self):
+        knows = {1: {2}, 2: set(), 3: {4}, 4: {3}}
+        assert is_isolated(knows, 1, max_size=2)
+        assert not is_isolated(knows, 1, max_size=1)

@@ -1,0 +1,77 @@
+"""Tests for statistical estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimators import (
+    chi_square_uniform,
+    fit_log_power,
+    fit_power_law,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_true_rate(self):
+        est = wilson_interval(50, 100)
+        assert est.lo < 0.5 < est.hi
+        assert est.rate == 0.5
+
+    def test_extremes(self):
+        est = wilson_interval(0, 20)
+        assert est.lo == 0.0 and est.hi > 0.0
+        est = wilson_interval(20, 20)
+        assert est.hi == 1.0 and est.lo < 1.0
+
+    def test_narrows_with_trials(self):
+        small = wilson_interval(5, 10)
+        big = wilson_interval(500, 1000)
+        assert (big.hi - big.lo) < (small.hi - small.lo)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestChiSquare:
+    def test_uniform_data_not_rejected(self, rng):
+        counts = np.bincount(rng.integers(0, 50, size=5000), minlength=50)
+        _, p = chi_square_uniform(counts)
+        assert p > 0.001
+
+    def test_skewed_data_rejected(self):
+        counts = np.array([1000] + [10] * 49)
+        _, p = chi_square_uniform(counts)
+        assert p < 1e-6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.array([5.0]))
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.zeros(4))
+
+
+class TestPowerLawFits:
+    def test_exact_power_law_recovered(self):
+        xs = np.array([2.0, 4.0, 8.0, 16.0])
+        ys = 3.0 * xs**2
+        a, b = fit_power_law(xs, ys)
+        assert a == pytest.approx(3.0, rel=1e-9)
+        assert b == pytest.approx(2.0, rel=1e-9)
+
+    def test_log_power_recovers_cubic_log(self):
+        ns = np.array([64, 256, 1024, 4096], dtype=float)
+        ys = 5.0 * np.log2(ns) ** 3
+        a, b = fit_log_power(ns, ys)
+        assert a == pytest.approx(5.0, rel=1e-9)
+        assert b == pytest.approx(3.0, rel=1e-9)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([0.0, 1.0]), np.array([1.0, 2.0]))

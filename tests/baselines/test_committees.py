@@ -1,0 +1,100 @@
+"""Tests for the SPARTAN-style committee baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.committees import CommitteeOverlay
+
+
+@pytest.fixture
+def overlay() -> CommitteeOverlay:
+    return CommitteeOverlay(n=128, committee_size=8, r=2, seed=1)
+
+
+class TestStructure:
+    def test_committee_count(self, overlay):
+        assert overlay.m == 16
+
+    def test_everyone_assigned(self, overlay):
+        assert sum(overlay.committee_sizes()) == 128
+
+    def test_rejects_tiny_committee(self):
+        with pytest.raises(ValueError):
+            CommitteeOverlay(n=16, committee_size=1)
+
+    def test_virtual_neighbors(self, overlay):
+        nbrs = overlay.virtual_neighbors(3)
+        assert nbrs == (4, 2, 6, 7)
+
+    def test_virtual_path_connects_everything(self, overlay):
+        for dst in range(overlay.m):
+            path = overlay.virtual_path(0, dst)
+            assert path[0] == 0 and path[-1] == dst
+            for a, b in zip(path, path[1:]):
+                assert b in overlay.virtual_neighbors(a)
+
+    def test_path_logarithmic(self, overlay):
+        import math
+
+        longest = max(len(overlay.virtual_path(0, d)) for d in range(overlay.m))
+        assert longest <= 3 * math.ceil(math.log2(overlay.m)) + 2
+
+
+class TestMembership:
+    def test_join_refills_thinnest(self, overlay):
+        overlay.kill(list(overlay.members(5)))
+        assert len(overlay.members(5)) == 0
+        overlay.join(3)
+        assert len(overlay.members(5)) == 3
+
+    def test_kill_shrinks(self, overlay):
+        victims = list(overlay.members(2))[:4]
+        overlay.kill(victims)
+        assert len(overlay.members(2)) == 4
+
+    def test_join_ids_fresh(self, overlay):
+        new = overlay.join(2)
+        assert all(v >= 128 for v in new)
+        assert set(new) <= overlay.alive
+
+
+class TestRouting:
+    def test_delivers_without_churn(self, overlay):
+        rng = np.random.default_rng(0)
+        ids = [
+            overlay.send(int(rng.choice(sorted(overlay.alive))), int(rng.integers(0, overlay.m)))
+            for _ in range(30)
+        ]
+        overlay.run_until_quiet()
+        assert all(overlay.outcomes[i].delivered for i in ids)
+
+    def test_survives_random_churn(self, overlay):
+        """Redundancy is redundancy: random churn is absorbed."""
+        rng = np.random.default_rng(1)
+        ids = [overlay.send(int(v), int(rng.integers(0, overlay.m)))
+               for v in sorted(overlay.alive)[:40]]
+        overlay.step()
+        victims = rng.choice(sorted(overlay.alive), size=12, replace=False)
+        overlay.kill(int(v) for v in victims)
+        overlay.join(12)
+        overlay.run_until_quiet()
+        delivered = sum(1 for i in ids if overlay.outcomes[i].delivered)
+        assert delivered >= 0.9 * len(ids)
+
+    def test_wiped_committee_severs_routes(self, overlay):
+        """The static structure's fatal flaw: one dead committee is forever."""
+        # Wipe committee 1, then route 0 -> 1 (and through it).
+        overlay.kill(list(overlay.members(1)))
+        origin = sorted(overlay.members(0))[0]
+        i = overlay.send(origin, 1)
+        overlay.run_until_quiet()
+        assert not overlay.outcomes[i].delivered
+        assert overlay.outcomes[i].failed
+
+    def test_dead_origin_rejected(self, overlay):
+        v = sorted(overlay.alive)[0]
+        overlay.kill([v])
+        with pytest.raises(ValueError):
+            overlay.send(v, 3)

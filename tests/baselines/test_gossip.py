@@ -1,0 +1,90 @@
+"""Unit tests for the naive gossip baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.connectivity import is_connected, knowledge_graph_of_gossip
+from repro.baselines.gossip import GossipNode, PeerSample
+from repro.config import ProtocolParams
+from repro.sim.engine import Engine, JoinNotice
+
+
+def make_engine(n=16):
+    params = ProtocolParams(n=n, alpha=0.25, kappa=1.25, seed=4)
+    eng = Engine(params, lambda v, s: GossipNode(v, s))
+    eng.seed_nodes(range(n))
+    for v in range(n):
+        eng.protocol_of(v).seed_known({(v + 1) % n, (v + 2) % n})
+    return eng
+
+
+class TestGossipBasics:
+    def test_seed_known_excludes_self(self):
+        eng = make_engine()
+        eng.protocol_of(0).seed_known({0, 1, 2})
+        assert 0 not in eng.protocol_of(0).known
+
+    def test_knowledge_spreads(self):
+        eng = make_engine()
+        before = len(eng.protocol_of(0).known)
+        eng.run(10)
+        after = len(eng.protocol_of(0).known)
+        assert after > before
+
+    def test_sender_learned_from_messages(self):
+        eng = make_engine(n=16)
+        eng.run(5)
+        # Node 15 gossips to 0 and 1; eventually someone learns a reverse edge.
+        knows = knowledge_graph_of_gossip(eng)
+        assert is_connected(knows)
+
+    def test_peer_sample_merge(self):
+        eng = make_engine()
+        node = eng.protocol_of(0)
+        from repro.sim.engine import NodeContext
+        from repro.sim.network import Network
+
+        ctx = NodeContext(
+            node_id=0,
+            t=1,
+            inbox=[(5, PeerSample((7, 8)))],
+            rng=eng.rng_service.node_stream(0),
+            params=eng.params,
+            joined_round=0,
+            network=Network(),
+        )
+        node.on_round(ctx)
+        assert {5, 7, 8} <= node.known
+
+    def test_join_notice_introduces_both_ways(self):
+        eng = make_engine()
+        node = eng.protocol_of(0)
+        from repro.sim.engine import NodeContext
+        from repro.sim.network import Network
+
+        net = Network()
+        ctx = NodeContext(
+            node_id=0,
+            t=1,
+            inbox=[(-1, JoinNotice(new_id=99))],
+            rng=eng.rng_service.node_stream(0),
+            params=eng.params,
+            joined_round=0,
+            network=net,
+        )
+        node.on_round(ctx)
+        net.close_send_phase()
+        inboxes, _ = net.deliver(frozenset(range(200)))
+        # The newcomer receives an introduction sample including node 0.
+        assert any(
+            isinstance(m, PeerSample) and 0 in m.peers
+            for _, m in inboxes.get(99, [])
+        )
+
+    def test_gossip_bounded_fanout(self):
+        eng = make_engine()
+        eng.run(5)
+        for report in eng.reports:
+            # FANOUT gossip targets + occasional introductions only.
+            assert report.metrics.max_sent <= GossipNode.FANOUT + 2 * GossipNode.SAMPLE_SIZE

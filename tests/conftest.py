@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ProtocolParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> ProtocolParams:
+    """A small but structurally realistic parameterisation for unit tests."""
+    return ProtocolParams(n=64, seed=7)
+
+
+@pytest.fixture
+def tiny_params() -> ProtocolParams:
+    """The smallest configuration the library supports, for fast tests."""
+    return ProtocolParams(n=16, seed=7)

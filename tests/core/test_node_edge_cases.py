@@ -1,0 +1,193 @@
+"""Edge-case tests for the maintenance node (defensive behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolParams
+from repro.core.messages import CreateBatch, JoinBatch, JoinRecord, TokenGrant
+from repro.core.node import MaintenanceNode, Phase
+from repro.routing.messages import Hop, make_routed_message
+from repro.sim.engine import EngineServices, NodeContext
+from repro.sim.network import Network
+from repro.util.rngs import RngService
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    return ProtocolParams(n=48, c=1.2, r=2, delta=3, tau=6, seed=31)
+
+
+@pytest.fixture
+def services(params) -> EngineServices:
+    svc = RngService(params.seed)
+    return EngineServices(params=params, rng=svc, position_hash=svc.position_hash())
+
+
+def ctx_for(node, services, t, inbox):
+    net = Network()
+    return (
+        NodeContext(
+            node_id=node.id,
+            t=t,
+            inbox=inbox,
+            rng=services.rng.node_stream(node.id),
+            params=services.params,
+            joined_round=0,
+            network=net,
+        ),
+        net,
+    )
+
+
+def make_hop(services, params, step, payload=None, target=0.5, rank=None):
+    msg = make_routed_message(
+        msg_id=("probe", "x", 99),
+        origin=99,
+        origin_position=0.4,
+        target=target,
+        lam=params.lam,
+        start_round=0,
+        sample_rank=rank,
+        payload=payload if payload is not None else ("probe", "x"),
+    )
+    return Hop(msg, step)
+
+
+class TestHopEdgeCases:
+    def test_fresh_node_ignores_hops(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.phase = Phase.FRESH
+        hop = make_hop(services, params, step=2)
+        ctx, net = ctx_for(node, services, 11, [(2, hop)])
+        node.on_round(ctx)
+        edges, _ = net.close_send_phase()
+        assert edges == []
+
+    def test_duplicate_hops_forwarded_once(self, services, params):
+        # A ring-spanning neighbourhood guarantees the next trajectory point
+        # has known swarm members, so the forwarding must happen — exactly
+        # once (r copies) despite three identical arrivals.
+        node = MaintenanceNode(1, services)
+        dense = {i: (i - 2) / 60 for i in range(2, 62)}
+        node.prime(epoch=5, pos=0.5, neighbors=dense)
+        hop = make_hop(services, params, step=2)
+        ctx, net = ctx_for(node, services, 10, [(2, hop), (3, hop), (4, hop)])
+        node.on_round(ctx)
+        _, sent = net.close_send_phase()
+        # Launches go out next odd round, so all sends here are hop copies.
+        assert sent.get(1, 0) == params.r
+
+    def test_final_hop_at_even_round_is_defensively_dropped(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.prime(epoch=5, pos=0.5, neighbors={2: 0.51})
+        hop = make_hop(services, params, step=params.lam + 1)
+        ctx, net = ctx_for(node, services, 10, [(2, hop)])
+        node.on_round(ctx)  # must not raise
+        assert node.delivered == []
+
+    def test_probe_delivery_recorded_at_odd_round(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.prime(epoch=5, pos=0.5, neighbors={2: 0.51})
+        hop = make_hop(services, params, step=params.lam + 1)
+        ctx, _ = ctx_for(node, services, 11, [(2, hop)])
+        node.on_round(ctx)
+        assert node.delivered and node.delivered[0][0] == ("probe", "x")
+
+    def test_token_with_wrong_rank_ignored(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.prime(epoch=5, pos=0.5, neighbors={2: 0.51})
+        hop = make_hop(
+            services, params, step=params.lam + 1, payload=("token", 7),
+            target=0.5, rank=10_000,
+        )
+        ctx, _ = ctx_for(node, services, 11, [(2, hop)])
+        node.on_round(ctx)
+        assert all(owner != 7 for _, owner in node.tokens)
+
+    def test_unknown_payload_recorded_not_crashed(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.prime(epoch=5, pos=0.5, neighbors={2: 0.51})
+        hop = make_hop(services, params, step=params.lam + 1, payload="mystery")
+        ctx, _ = ctx_for(node, services, 11, [(2, hop)])
+        node.on_round(ctx)
+        assert ("mystery", 11) in node.delivered
+
+
+class TestRecordEdgeCases:
+    def test_empty_create_batch_still_cuts_over(self, services, params):
+        """An empty batch signals the cutover even with no neighbours yet."""
+        node = MaintenanceNode(1, services)
+        node.phase = Phase.FRESH
+        e = params.lam + 6
+        # CreateBatch with one record of the right epoch for another node
+        # plus self-only implies empty neighbourhood for us; send one real
+        # record so the batch is non-trivial.
+        recs = (JoinRecord(2, 0.3, e),)
+        ctx, _ = ctx_for(node, services, 2 * e, [(9, CreateBatch(recs))])
+        node.on_round(ctx)
+        assert node.phase is Phase.ESTABLISHED
+        assert node.epoch == e
+
+    def test_own_record_excluded_from_neighbors(self, services, params):
+        node = MaintenanceNode(1, services)
+        e = params.lam + 6
+        recs = (JoinRecord(1, 0.4, e), JoinRecord(2, 0.3, e))
+        ctx, _ = ctx_for(node, services, 2 * e, [(9, CreateBatch(recs))])
+        node.on_round(ctx)
+        assert 1 not in node.d_nbrs and 2 in node.d_nbrs
+
+    def test_join_batches_ignored_when_not_established(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.phase = Phase.FRESH
+        batch = JoinBatch((JoinRecord(7, 0.2, 6),))
+        ctx, net = ctx_for(node, services, 11, [(2, batch)])
+        node.on_round(ctx)
+        edges, _ = net.close_send_phase()
+        assert edges == []  # no matchmaking from outside the overlay
+
+    def test_grant_on_established_node_adds_tokens_only(self, services, params):
+        node = MaintenanceNode(1, services)
+        node.prime(epoch=5, pos=0.5, neighbors={2: 0.51})
+        ctx, _ = ctx_for(node, services, 11, [(2, TokenGrant((8, 9)))])
+        node.on_round(ctx)
+        assert node.phase is Phase.ESTABLISHED
+        assert {o for _, o in node.tokens} >= {8, 9}
+
+
+class TestPipelineBookkeeping:
+    def test_primed_node_never_reconnects(self, services, params):
+        """Bootstrap-primed nodes have no pipeline gap to bridge."""
+        node = MaintenanceNode(1, services)
+        node.prime(epoch=0, pos=0.5, neighbors={2: 0.51})
+        node.tokens = [(100, 5), (100, 6), (100, 7)]
+        ctx, net = ctx_for(node, services, 2, [])
+        node.on_round(ctx)
+        from repro.core.messages import ConnectMsg
+
+        _, sent = net.close_send_phase()
+        inboxes, _ = net.deliver(frozenset(range(100)))
+        connects = [
+            m for msgs in inboxes.values() for _, m in msgs if isinstance(m, ConnectMsg)
+        ]
+        assert connects == []
+
+    def test_newly_established_keeps_connecting(self, services, params):
+        """A freshly promoted node bridges its pipeline with CONNECTs."""
+        node = MaintenanceNode(1, services)
+        node.phase = Phase.FRESH
+        node.tokens = [(1000, 5), (1000, 6), (1000, 7)]
+        e = params.lam + 6
+        ctx, _ = ctx_for(node, services, 2 * e, [(9, CreateBatch((JoinRecord(2, 0.3, e),)))])
+        node.on_round(ctx)
+        assert node.phase is Phase.ESTABLISHED
+        ctx, net = ctx_for(node, services, 2 * e + 2, [])
+        node.on_round(ctx)
+        from repro.core.messages import ConnectMsg
+
+        net.close_send_phase()
+        inboxes, _ = net.deliver(frozenset(range(100)))
+        connects = [
+            m for msgs in inboxes.values() for _, m in msgs if isinstance(m, ConnectMsg)
+        ]
+        assert connects  # still bridging the pipeline

@@ -1,0 +1,98 @@
+"""Unit tests for the maintenance runner's audits and probe bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ProtocolParams
+from repro.core.bootstrap import prime_initial_overlay
+from repro.core.runner import MaintenanceSimulation, OverlayAudit, ProbeReport
+
+
+@pytest.fixture(scope="module")
+def warm_sim():
+    params = ProtocolParams(n=40, c=1.2, r=2, delta=3, tau=8, seed=21)
+    sim = MaintenanceSimulation(params)
+    sim.run(2 * (params.lam + 3))
+    return sim
+
+
+class TestAudits:
+    def test_initial_graph_matches_params(self):
+        params = ProtocolParams(n=40, c=1.2, delta=3, tau=8, seed=21)
+        sim = MaintenanceSimulation(params)
+        assert len(sim.initial_graph) == params.n
+
+    def test_audit_fields(self, warm_sim):
+        audit = warm_sim.audit_overlay()
+        assert isinstance(audit, OverlayAudit)
+        assert audit.members == 40
+        assert audit.alive == 40
+        assert audit.established_fraction == 1.0
+        assert audit.required_edges > 0
+        assert audit.edge_coverage == 1.0
+        assert audit.min_swarm_size >= 1
+
+    def test_health_summary_keys(self, warm_sim):
+        h = warm_sim.health_summary()
+        for key in (
+            "round",
+            "alive",
+            "established_fraction",
+            "total_demotions",
+            "peak_congestion",
+            "mean_congestion",
+        ):
+            assert key in h
+
+    def test_empty_audit_when_nothing_established(self):
+        params = ProtocolParams(n=40, c=1.2, delta=3, tau=8, seed=22)
+        sim = MaintenanceSimulation(params)
+        for node in sim.alive_nodes():
+            node.phase = type(node.phase).FRESH
+        audit = sim.audit_overlay()
+        assert audit.members == 0
+        assert audit.established_fraction == 0.0
+        assert audit.edge_coverage == 1.0  # vacuous
+
+
+class TestProbes:
+    def test_probe_report_empty(self, warm_sim):
+        report = warm_sim.probe_report([])
+        assert isinstance(report, ProbeReport)
+        assert report.launched == 0
+        assert report.delivery_rate == 1.0
+
+    def test_probe_roundtrip(self, warm_sim):
+        rng = np.random.default_rng(5)
+        ids = warm_sim.send_probes(3, rng)
+        warm_sim.run(2 * warm_sim.params.dilation + 4)
+        report = warm_sim.probe_report(ids)
+        assert report.launched == 3
+        assert report.delivered == 3
+        assert report.mean_receivers >= 1
+
+    def test_probe_ids_unique(self, warm_sim):
+        rng = np.random.default_rng(6)
+        a = warm_sim.send_probes(2, rng)
+        b = warm_sim.send_probes(2, rng)
+        assert len(set(a) | set(b)) == 4
+
+
+class TestBootstrapPriming:
+    def test_prime_requires_round_zero(self):
+        params = ProtocolParams(n=40, c=1.2, delta=3, tau=8, seed=23)
+        sim = MaintenanceSimulation(params)
+        sim.run(1)
+        with pytest.raises(RuntimeError):
+            prime_initial_overlay(sim.engine)
+
+    def test_primed_nodes_have_definition5_neighborhoods(self):
+        params = ProtocolParams(n=40, c=1.2, delta=3, tau=8, seed=24)
+        sim = MaintenanceSimulation(params)
+        graph = sim.initial_graph
+        for v in list(sim.engine.alive)[:8]:
+            node = sim.node(v)
+            assert set(node.d_nbrs) == {int(w) for w in graph.neighbors(v)}
+            assert node.epoch == 0

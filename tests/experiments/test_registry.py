@@ -1,0 +1,97 @@
+"""Tests for the experiment registry and result rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.models import TABLE1_MODELS
+from repro.experiments.registry import ExperimentResult, register
+
+
+EXPECTED_IDS = {
+    "E-T1",
+    "E-F1",
+    "E-L3",
+    "E-L4",
+    "E-L6",
+    "E-L9",
+    "E-L12",
+    "E-L13",
+    "E-L17",
+    "E-L22",
+    "E-T14",
+    "E-L24",
+    "E-AB",
+}
+
+
+class TestRegistry:
+    def test_all_artefacts_registered(self):
+        assert EXPECTED_IDS <= set(all_experiments())
+
+    def test_get_experiment(self):
+        fn = get_experiment("E-F1")
+        assert callable(fn)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E-NOPE")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("E-F1")(lambda **kw: None)
+
+
+class TestResultRendering:
+    def make(self, passed=True):
+        return ExperimentResult(
+            experiment_id="E-X",
+            title="demo",
+            claim="something holds",
+            header=["a", "b"],
+            rows=[[1, 2.5]],
+            passed=passed,
+            notes=["a note"],
+        )
+
+    def test_to_table(self):
+        text = self.make().to_table()
+        assert "[E-X] demo" in text
+        assert "verdict: PASS" in text
+        assert "note: a note" in text
+
+    def test_to_table_fail(self):
+        assert "verdict: FAIL" in self.make(passed=False).to_table()
+
+    def test_to_markdown(self):
+        md = self.make().to_markdown()
+        assert md.startswith("### E-X")
+        assert "| a | b |" in md
+        assert "**PASS**" in md
+
+
+class TestModels:
+    def test_table1_has_four_rows(self):
+        assert len(TABLE1_MODELS) == 4
+
+    def test_this_paper_row_present(self):
+        assert any(m.reference == "this" for m in TABLE1_MODELS)
+
+    def test_row_shape(self):
+        for m in TABLE1_MODELS:
+            assert len(m.row()) == 5
+
+
+class TestQuickExperiments:
+    """Smoke-run the fast experiments end to end (slow ones run in benchmarks)."""
+
+    @pytest.mark.parametrize("eid", ["E-F1", "E-L6", "E-L12"])
+    def test_fast_experiments_pass(self, eid):
+        result = get_experiment(eid)(quick=True)
+        assert result.passed, result.to_table()
+        assert result.rows
+
+    def test_lemma4_passes(self):
+        result = get_experiment("E-L4")(quick=True)
+        assert result.passed, result.to_table()

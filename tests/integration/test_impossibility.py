@@ -1,0 +1,129 @@
+"""Integration tests for the Section 2 impossibility results (Lemmas 3, 4).
+
+These run the scripted attacks against the naive gossip baseline on the real
+engine and check the knowledge-graph partition criteria.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.budget import ChurnViolation
+from repro.adversary.isolate_join import IsolateJoinAdversary
+from repro.adversary.join_chain import JoinChainAdversary
+from repro.analysis.connectivity import (
+    is_connected,
+    is_isolated,
+    knowledge_graph_of_gossip,
+)
+from repro.baselines.gossip import GossipNode
+from repro.config import ProtocolParams
+from repro.sim.engine import Engine
+
+
+def gossip_engine(params, adversary=None, *, join_min_age=2, ring_degree=3):
+    eng = Engine(
+        params,
+        lambda v, s: GossipNode(v, s),
+        adversary=adversary,
+        strict_budget=True,
+        join_min_age=join_min_age,
+    )
+    eng.seed_nodes(range(params.n))
+    # Wire the initial overlay as a ring with a few chords.
+    n = params.n
+    for v in range(n):
+        peers = {(v + d) % n for d in range(1, ring_degree + 1)}
+        eng.protocol_of(v).seed_known(peers)
+    return eng
+
+
+class TestGossipBaselineSanity:
+    def test_connected_without_churn(self):
+        params = ProtocolParams(n=32, seed=1)
+        eng = gossip_engine(params)
+        eng.run(20)
+        assert is_connected(knowledge_graph_of_gossip(eng))
+
+    def test_survives_mild_random_churn(self):
+        from repro.adversary.oblivious import RandomChurnAdversary
+
+        params = ProtocolParams(n=32, alpha=0.25, kappa=1.25, seed=1)
+        adv = RandomChurnAdversary(params, seed=2, active_from=5)
+        eng = gossip_engine(params, adversary=adv)
+        eng.run(60)
+        assert is_connected(knowledge_graph_of_gossip(eng))
+
+
+class TestLemma3Isolation:
+    def test_one_late_adversary_isolates_victim(self):
+        """Lemma 3: with up-to-date topology the victim is cut off in O(log n)."""
+        params = ProtocolParams(
+            n=32,
+            alpha=0.5,
+            kappa=1.5,
+            seed=3,
+            churn_budget_override=64,
+            churn_window_override=16,
+        )
+        adv = IsolateJoinAdversary(params, seed=4, topology_lateness=1)
+        eng = gossip_engine(params, adversary=adv)
+        eng.run(70)
+        assert adv.victim_id is not None
+        assert adv.victim_id in eng.alive, "the victim itself must survive"
+        assert adv.eroded_all(eng.alive), "V_0 should be fully eroded"
+        knows = knowledge_graph_of_gossip(eng)
+        assert is_isolated(knows, adv.victim_id, max_size=1)
+        assert not is_connected(knows)
+
+    def test_attack_respects_lateness_interface(self):
+        """The 1-late attack only ever queries rounds <= t-1 (no peeking)."""
+        params = ProtocolParams(
+            n=32,
+            alpha=0.5,
+            kappa=1.5,
+            seed=3,
+            churn_budget_override=64,
+            churn_window_override=16,
+        )
+        adv = IsolateJoinAdversary(params, seed=4, topology_lateness=1)
+        eng = gossip_engine(params, adversary=adv)
+        # LatenessViolation inside decide() would propagate and fail here.
+        eng.run(30)
+
+
+class TestLemma4JoinChain:
+    def make_params(self):
+        return ProtocolParams(
+            n=24,
+            alpha=0.5,
+            kappa=1.5,
+            seed=5,
+            churn_budget_override=200,
+            churn_window_override=10,
+        )
+
+    def test_chain_attack_partitions_weakened_model(self):
+        """With join-via-1-round-old allowed, the oblivious chain attack
+        separates the chain head once all of V_0 is eroded."""
+        params = self.make_params()
+        adv = JoinChainAdversary(params, seed=6, erosion_batch=2)
+        eng = gossip_engine(params, adversary=adv, join_min_age=1)
+        # Erosion removes all of V_0 early; the chain then keeps extending so
+        # the head's last acquaintances die too.
+        eng.run(120)
+        assert not (set(adv.initial_population) & set(eng.alive))
+        head = adv.chain_head
+        assert head is not None and head in eng.alive
+        knows = knowledge_graph_of_gossip(eng)
+        assert is_isolated(knows, head, max_size=2)
+        assert not is_connected(knows)
+
+    def test_chain_attack_blocked_by_proper_join_rule(self):
+        """Under the real model (bootstrap >= 2 rounds old) the same attack
+        violates the join rule on its very first chain extension."""
+        params = self.make_params()
+        adv = JoinChainAdversary(params, seed=6)
+        eng = gossip_engine(params, adversary=adv, join_min_age=2)
+        with pytest.raises(ChurnViolation, match="rounds old"):
+            eng.run(30)

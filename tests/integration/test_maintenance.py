@@ -1,0 +1,187 @@
+"""Integration tests for the full maintenance protocol (Theorem 14).
+
+These drive the message-level protocol end to end: bootstrap, continuous
+2-round reconfiguration, churn, joins of brand-new nodes, routed probe
+traffic, and the structural audits.  Sizes are kept small (n=40..48) so the
+whole file runs in a couple of minutes; the benchmarks push further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import RandomChurnAdversary
+from repro.adversary.swarm_wipe import ContactTraceAdversary, DegreeTargetAdversary
+from repro.config import ProtocolParams
+from repro.core.node import Phase
+from repro.core.runner import MaintenanceSimulation
+
+
+def make_params(**overrides):
+    defaults = dict(
+        n=40, c=1.2, r=2, delta=3, tau=8, seed=11, alpha=0.25, kappa=1.25
+    )
+    defaults.update(overrides)
+    return ProtocolParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    """One shared 90-round run under budget-paced random churn."""
+    params = make_params()
+    adv = RandomChurnAdversary(params, seed=2)
+    sim = MaintenanceSimulation(params, adversary=adv)
+    rng = np.random.default_rng(0)
+    probe_ids = []
+    for chunk in range(6):
+        sim.run(15)
+        if chunk >= 1:
+            probe_ids.extend(sim.send_probes(4, rng))
+    # Let the last probes land.
+    sim.run(2 * params.dilation)
+    return sim, probe_ids
+
+
+class TestNoChurnSteadyState:
+    def test_overlay_rebuilt_every_two_rounds(self):
+        params = make_params(n=40)
+        sim = MaintenanceSimulation(params)
+        warm = 2 * (params.lam + 3)
+        sim.run(warm)
+        audit1 = sim.audit_overlay()
+        sim.run(2)
+        audit2 = sim.audit_overlay()
+        assert audit2.epoch == audit1.epoch + 1
+        # Positions change completely between epochs.
+        h = sim.services.position_hash
+        moved = sum(
+            1
+            for v in sim.established_nodes()
+            if h.position(v, audit1.epoch) != h.position(v, audit2.epoch)
+        )
+        assert moved == audit2.members
+
+    def test_full_edge_coverage(self):
+        params = make_params(n=40)
+        sim = MaintenanceSimulation(params)
+        sim.run(2 * (params.lam + 4))
+        audit = sim.audit_overlay()
+        assert audit.edge_coverage == 1.0
+        assert audit.members == params.n
+
+    def test_congestion_polylog(self):
+        """Per-node message counts stay within a (generous) log^3 envelope."""
+        params = make_params(n=40)
+        sim = MaintenanceSimulation(params)
+        sim.run(2 * (params.lam + 4))
+        peak = sim.engine.metrics.peak_congestion()
+        envelope = 40 * params.lam**3  # wide constant; the shape is the claim
+        assert 0 < peak < envelope
+
+
+class TestUnderRandomChurn(object):
+    def test_no_demotions(self, churn_run):
+        sim, _ = churn_run
+        assert sim.health_summary()["total_demotions"] == 0
+
+    def test_established_fraction_high(self, churn_run):
+        sim, _ = churn_run
+        assert sim.health_summary()["established_fraction"] >= 0.9
+
+    def test_edge_coverage_full(self, churn_run):
+        sim, _ = churn_run
+        assert sim.audit_overlay().edge_coverage >= 0.999
+
+    def test_all_probes_delivered(self, churn_run):
+        sim, probe_ids = churn_run
+        report = sim.probe_report(probe_ids)
+        assert report.delivery_rate == 1.0
+        # Delivery means the whole target swarm got the probe.
+        assert report.mean_receivers >= 3
+
+    def test_newcomers_eventually_establish(self, churn_run):
+        sim, _ = churn_run
+        stuck = [
+            v
+            for v in sim.engine.alive
+            if sim.node(v).phase is not Phase.ESTABLISHED
+            and sim.round - sim.engine.lifecycle.joined_round(v)
+            > 4 * sim.params.lam
+        ]
+        assert stuck == []
+
+    def test_population_stayed_legal(self, churn_run):
+        sim, _ = churn_run
+        assert sim.params.n <= len(sim.engine.alive) <= sim.params.max_nodes
+
+
+class TestUnderTargetedChurn:
+    def test_survives_contact_trace_2late(self):
+        """A 2-late adversary hunting one victim's contacts cannot break
+        routability — the overlay it sees is two overlays stale."""
+        params = make_params(seed=13)
+        adv = ContactTraceAdversary(params, victim=0, seed=3, topology_lateness=2)
+        sim = MaintenanceSimulation(params, adversary=adv)
+        rng = np.random.default_rng(1)
+        sim.run(params.bootstrap_rounds + 10)
+        ids = sim.send_probes(8, rng)
+        sim.run(2 * params.dilation + 4)
+        assert sim.probe_report(ids).delivery_rate >= 0.9
+        assert sim.audit_overlay().edge_coverage >= 0.99
+
+    def test_survives_degree_targeting_2late(self):
+        params = make_params(seed=14)
+        adv = DegreeTargetAdversary(params, seed=4, top=6, topology_lateness=2)
+        sim = MaintenanceSimulation(params, adversary=adv)
+        rng = np.random.default_rng(2)
+        sim.run(params.bootstrap_rounds + 10)
+        ids = sim.send_probes(8, rng)
+        sim.run(2 * params.dilation + 4)
+        assert sim.probe_report(ids).delivery_rate >= 0.9
+
+    def test_victim_node_stays_routable(self):
+        """The hunted victim itself keeps its overlay membership."""
+        params = make_params(seed=15)
+        adv = ContactTraceAdversary(params, victim=5, seed=5, topology_lateness=2)
+        sim = MaintenanceSimulation(params, adversary=adv)
+        sim.run(params.bootstrap_rounds + 30)
+        assert 5 in sim.engine.alive
+        assert sim.node(5).phase is Phase.ESTABLISHED
+
+
+class TestFailureInjection:
+    def test_demoted_node_recovers(self):
+        """Force-demote an established node; the token machinery re-joins it."""
+        params = make_params(seed=16)
+        sim = MaintenanceSimulation(params)
+        sim.run(2 * (params.lam + 3))
+        victim = sorted(sim.established_nodes())[0]
+        node = sim.node(victim)
+        node.phase = Phase.FRESH
+        node.epoch = None
+        node.pos = None
+        node.d_nbrs = {}
+        node._d_index = None
+        sim.run(6 * params.lam)
+        assert sim.node(victim).phase is Phase.ESTABLISHED
+
+    def test_run_with_lenient_budget_never_crashes(self):
+        """A buggy adversary (over budget) is rejected round by round."""
+        from repro.adversary.base import Adversary, ChurnDecision
+
+        class Greedy(Adversary):
+            topology_lateness = 2
+
+            def decide(self, view):
+                return ChurnDecision(
+                    leaves=frozenset(sorted(view.alive)[: len(view.alive) // 2])
+                )
+
+        params = make_params(seed=17)
+        sim = MaintenanceSimulation(
+            params, adversary=Greedy(active_from=5), strict_budget=False
+        )
+        sim.run(12)
+        assert len(sim.engine.alive) == params.n
+        assert all(r.rejected is not None for r in sim.engine.reports[5:])

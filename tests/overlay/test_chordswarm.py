@@ -1,0 +1,133 @@
+"""Tests for the Chord-swarm transfer (topology + trajectories + routing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ProtocolParams
+from repro.overlay.chordswarm import (
+    ChordSwarmGraph,
+    chord_finger_arcs,
+    chord_trajectory,
+)
+from repro.routing.series import SeriesRouter
+from repro.util.intervals import ring_distance, wrap
+
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+@pytest.fixture
+def graph(small_params, rng) -> ChordSwarmGraph:
+    return ChordSwarmGraph.random(small_params, rng)
+
+
+class TestFingerArcs:
+    def test_count_and_radius(self, small_params):
+        arcs = chord_finger_arcs(0.3, small_params)
+        assert len(arcs) == small_params.lam
+        assert all(a.radius == pytest.approx(small_params.list_radius) for a in arcs)
+
+    def test_centers_are_translations(self, small_params):
+        arcs = chord_finger_arcs(0.3, small_params)
+        for i, arc in enumerate(arcs, start=1):
+            assert arc.center == pytest.approx(wrap(0.3 + 2.0**-i))
+
+
+class TestTopology:
+    def test_finger_edges_match_definition(self, graph):
+        params = graph.params
+        for v in graph.node_ids[:6]:
+            v = int(v)
+            p = graph.index.position(v)
+            got = set(int(w) for w in graph.finger_neighbors(v))
+            expected = set()
+            for i in range(1, params.lam + 1):
+                center = wrap(p + 2.0**-i)
+                for w in graph.node_ids:
+                    w = int(w)
+                    if w != v and ring_distance(
+                        graph.index.position(w), center
+                    ) <= params.list_radius:
+                        expected.add(w)
+            assert got == expected
+
+    def test_degree_log_squared(self, graph):
+        """Chord-swarm degree is Theta(log^2 n) — higher than the LDS."""
+        params = graph.params
+        _, mean, _ = graph.degree_stats()
+        per_arc = 4 * params.c * params.lam  # expected members per finger arc
+        assert mean < 2.0 * params.lam * per_arc
+        assert mean > 0.5 * per_arc  # at least the list arc's worth
+
+    def test_finger_property(self, graph, rng):
+        """The Chord analogue of Lemma 6 (exact, no rounding slack)."""
+        assert graph.check_finger_property(rng.random(10))
+
+    def test_from_positions(self, small_params):
+        g = ChordSwarmGraph.from_positions({0: 0.1, 1: 0.5, 2: 0.9}, small_params)
+        assert len(g) == 3
+
+
+class TestChordTrajectory:
+    def test_length_and_endpoints(self):
+        traj = chord_trajectory(0.2, 0.7, 8)
+        assert len(traj) == 10
+        assert traj[0] == pytest.approx(0.2)
+        assert traj[-1] == pytest.approx(0.7)
+
+    def test_x_lam_close_to_target(self):
+        lam = 10
+        traj = chord_trajectory(0.2, 0.7, lam)
+        assert ring_distance(traj[lam], 0.7) <= 2.0**-lam + 1e-12
+
+    @given(unit, unit, st.integers(min_value=2, max_value=12))
+    @settings(max_examples=60)
+    def test_steps_are_fingers_or_stays(self, v, p, lam):
+        """Each hop advances by exactly 2^-i (clockwise) or stays put."""
+        traj = chord_trajectory(v, p, lam)
+        for i in range(1, lam + 1):
+            delta = wrap(traj[i] - traj[i - 1])
+            assert delta == pytest.approx(0.0, abs=1e-12) or delta == pytest.approx(
+                2.0**-i, abs=1e-12
+            )
+
+    @given(unit, unit)
+    @settings(max_examples=40)
+    def test_monotone_progress(self, v, p):
+        """Clockwise distance to the target never increases.
+
+        For all points before the final correction, the remaining clockwise
+        distance is ``d - prefix_i`` with a non-decreasing prefix, so it
+        never wraps and never grows (up to float rounding).
+        """
+        lam = 8
+        traj = chord_trajectory(v, p, lam)
+        remaining = [wrap(p - x) for x in traj[:-1]]
+        assert all(a >= b - 1e-9 for a, b in zip(remaining, remaining[1:]))
+
+
+class TestChordRouting:
+    def test_end_to_end_delivery(self):
+        params = ProtocolParams(n=96, c=1.5, r=2, seed=6)
+        router = SeriesRouter(params, seed=6, trajectory_fn=chord_trajectory)
+        rng = np.random.default_rng(4)
+        for v in range(96):
+            router.send(v, float(rng.random()))
+        router.run_until_quiet()
+        outcomes = list(router.outcomes.values())
+        assert all(o.delivered for o in outcomes)
+        assert all(o.dilation == params.dilation for o in outcomes)
+
+    def test_delivery_under_churn(self):
+        params = ProtocolParams(n=96, c=1.5, r=2, seed=7)
+        router = SeriesRouter(params, seed=7, trajectory_fn=chord_trajectory)
+        rng = np.random.default_rng(5)
+        for v in range(96):
+            router.send(v, float(rng.random()))
+        router.run(3)
+        router.kill(int(v) for v in rng.choice(96, size=9, replace=False))
+        router.run_until_quiet()
+        delivered = sum(1 for o in router.outcomes.values() if o.delivered)
+        assert delivered >= 0.9 * 96

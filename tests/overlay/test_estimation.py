@@ -1,0 +1,116 @@
+"""Tests for local network-size estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ProtocolParams
+from repro.overlay.estimation import (
+    all_node_estimates,
+    estimate_lambda,
+    local_size_estimate,
+    median_size_estimate,
+    params_from_estimate,
+)
+from repro.overlay.positions import PositionIndex
+
+
+def uniform_index(n, rng):
+    return PositionIndex({i: float(p) for i, p in enumerate(rng.random(n))})
+
+
+class TestLocalEstimate:
+    def test_exact_on_regular_grid(self):
+        n = 64
+        index = PositionIndex({i: i / n for i in range(n)})
+        # On a perfect grid the j-th closest neighbour is at ceil(j/2)/n.
+        est = local_size_estimate(index, 0, j=4)
+        assert est == pytest.approx(4 / (2 * 2 / n))
+
+    def test_unbiased_order_of_magnitude(self, rng):
+        n = 512
+        index = uniform_index(n, rng)
+        ests = [local_size_estimate(index, v, j=8) for v in range(0, n, 16)]
+        assert np.median(ests) == pytest.approx(n, rel=0.4)
+
+    def test_rejects_bad_j(self, rng):
+        index = uniform_index(16, rng)
+        with pytest.raises(ValueError):
+            local_size_estimate(index, 0, j=0)
+        with pytest.raises(ValueError):
+            local_size_estimate(index, 0, j=16)
+
+    def test_handles_collisions(self):
+        index = PositionIndex({0: 0.5, 1: 0.5, 2: 0.75})
+        est = local_size_estimate(index, 0, j=1)
+        assert np.isfinite(est) and est > 0
+
+
+class TestAllNodeEstimates:
+    def test_matches_scalar(self, rng):
+        index = uniform_index(64, rng)
+        vec = all_node_estimates(index, j=4)
+        ids_sorted = index.ids
+        for pos_rank in range(0, 64, 13):
+            v = int(ids_sorted[pos_rank])
+            assert vec[pos_rank] == pytest.approx(
+                local_size_estimate(index, v, j=4), rel=1e-9
+            )
+
+    def test_shape(self, rng):
+        index = uniform_index(40, rng)
+        assert all_node_estimates(index, j=3).shape == (40,)
+
+
+class TestMedianEstimate:
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_relative_error_bounded(self, n, rng):
+        index = uniform_index(n, rng)
+        est = median_size_estimate(index)
+        assert abs(est - n) / n < 0.30
+
+    def test_accuracy_improves_with_j(self, rng):
+        n = 1024
+        errs = {}
+        for j in (2, 16):
+            trials = [
+                abs(median_size_estimate(uniform_index(n, rng), j=j) - n) / n
+                for _ in range(5)
+            ]
+            errs[j] = np.mean(trials)
+        assert errs[16] <= errs[2] + 0.02
+
+
+class TestDerivedParams:
+    def test_estimate_lambda(self):
+        assert estimate_lambda(64.0) == 6
+        assert estimate_lambda(65.0) == 7
+        assert estimate_lambda(64.0, kappa=1.1) == 7
+
+    def test_params_from_estimate(self):
+        base = ProtocolParams(n=100, c=2.0, seed=3)
+        derived = params_from_estimate(base, 118.4)
+        assert derived.n == 118
+        assert derived.c == pytest.approx(2.0 * 1.2)  # default safety slack
+
+    def test_params_from_estimate_no_slack(self):
+        base = ProtocolParams(n=100, c=2.0, seed=3)
+        derived = params_from_estimate(base, 118.4, safety=1.0)
+        assert derived.c == 2.0
+
+    def test_params_from_estimate_rejects_bad_safety(self):
+        base = ProtocolParams(n=100, c=2.0, seed=3)
+        with pytest.raises(ValueError):
+            params_from_estimate(base, 100.0, safety=0.9)
+
+    def test_estimated_radii_close_to_true(self, rng):
+        """The whole point: radii from the estimate are within the slack the
+        swarm property tolerates."""
+        n = 512
+        index = uniform_index(n, rng)
+        base = ProtocolParams(n=n, c=1.5, seed=1)
+        est = median_size_estimate(index)
+        derived = params_from_estimate(base, est, safety=1.0)
+        ratio = derived.swarm_radius / base.swarm_radius
+        assert 0.7 < ratio < 1.4

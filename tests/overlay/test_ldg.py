@@ -1,0 +1,63 @@
+"""Tests for the classical Linearized De Bruijn Graph baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.ldg import LDGGraph
+from repro.util.intervals import ring_distance, wrap
+
+
+@pytest.fixture
+def ldg(rng) -> LDGGraph:
+    return LDGGraph.random(64, rng)
+
+
+class TestConstruction:
+    def test_needs_three_nodes(self):
+        with pytest.raises(ValueError):
+            LDGGraph.from_positions({0: 0.1, 1: 0.2})
+
+    def test_size(self, ldg):
+        assert len(ldg) == 64
+
+
+class TestRingEdges:
+    def test_successor_predecessor_inverse(self, ldg):
+        for v in ldg.node_ids[:10]:
+            v = int(v)
+            assert ldg.ring_predecessor(ldg.ring_successor(v)) == v
+
+    def test_successor_is_clockwise_closest(self):
+        g = LDGGraph.from_positions({0: 0.1, 1: 0.4, 2: 0.8})
+        assert g.ring_successor(0) == 1
+        assert g.ring_successor(2) == 0
+
+    def test_ring_is_single_cycle(self, ldg):
+        start = int(ldg.node_ids[0])
+        seen = set()
+        v = start
+        for _ in range(len(ldg)):
+            seen.add(v)
+            v = ldg.ring_successor(v)
+        assert v == start
+        assert len(seen) == len(ldg)
+
+
+class TestDeBruijnContacts:
+    def test_contacts_are_closest(self, ldg):
+        for v in ldg.node_ids[:10]:
+            v = int(v)
+            p = ldg.index.position(v)
+            nbrs = set(ldg.neighbors(v))
+            for branch in (0, 1):
+                target = wrap((p + branch) / 2.0)
+                closest = ldg.index.closest(target)
+                if closest != v:
+                    assert closest in nbrs
+
+    def test_constant_degree(self, ldg):
+        dmin, dmean, dmax = ldg.degree_stats()
+        assert dmax <= 4
+        assert dmin >= 1

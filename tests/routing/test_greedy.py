@@ -1,0 +1,87 @@
+"""Tests for the greedy LDG baseline router."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.ldg import LDGGraph
+from repro.util.bits import num_address_bits
+from repro.util.intervals import ring_distance
+
+
+@pytest.fixture
+def setup(rng):
+    graph = LDGGraph.random(128, rng)
+    lam = num_address_bits(128, 1.0)
+    from repro.routing.greedy import GreedyRouter
+
+    return graph, GreedyRouter(graph, lam)
+
+
+class TestGreedyNoChurn:
+    def test_delivers_to_closest_node(self, setup, rng):
+        graph, router = setup
+        targets = rng.random(20)
+        for i, t in enumerate(targets):
+            router.send(int(graph.node_ids[i * 3]), float(t))
+        router.run_until_quiet()
+        for out in router.outcomes:
+            assert out.delivered
+            final = out.path[-1]
+            closest = graph.index.closest(out.target)
+            # Greedy may stop at a ring-adjacent local optimum; distance must
+            # match the true closest node's distance up to one ring gap.
+            d_final = ring_distance(graph.index.position(final), out.target)
+            d_best = ring_distance(graph.index.position(closest), out.target)
+            assert d_final <= 3 * d_best + 3.0 / len(graph)
+
+    def test_hop_count_logarithmic(self, setup, rng):
+        graph, router = setup
+        for i in range(30):
+            router.send(int(graph.node_ids[i]), float(rng.random()))
+        router.run_until_quiet()
+        hops = [o.hops for o in router.outcomes if o.delivered]
+        assert hops, "no deliveries"
+        assert max(hops) <= 8 * router.lam
+
+    def test_path_starts_at_origin(self, setup):
+        graph, router = setup
+        origin = int(graph.node_ids[0])
+        router.send(origin, 0.5)
+        router.run_until_quiet()
+        assert router.outcomes[0].path[0] == origin
+
+
+class TestGreedyUnderChurn:
+    def test_single_dead_holder_loses_message(self, setup):
+        graph, router = setup
+        origin = int(graph.node_ids[0])
+        router.send(origin, 0.5)
+        router.step()
+        # Kill the current holder: the message must die.
+        holder = router.outcomes[0].path[-1]
+        router.kill([holder])
+        router.run_until_quiet()
+        assert not router.outcomes[0].delivered
+        assert router.outcomes[0].failed_at is not None
+
+    def test_dead_origin_rejected(self, setup):
+        graph, router = setup
+        origin = int(graph.node_ids[0])
+        router.kill([origin])
+        with pytest.raises(ValueError):
+            router.send(origin, 0.5)
+
+    def test_fragility_vs_random_churn(self, setup, rng):
+        """With 20% random churn mid-flight, a noticeable fraction dies —
+        the contrast to A_ROUTING's swarm redundancy."""
+        graph, router = setup
+        for i in range(64):
+            router.send(int(graph.node_ids[i]), float(rng.random()))
+        router.step()
+        victims = rng.choice(graph.node_ids, size=25, replace=False)
+        router.kill(int(v) for v in victims)
+        router.run_until_quiet()
+        lost = sum(1 for o in router.outcomes if not o.delivered)
+        assert lost > 0

@@ -1,0 +1,222 @@
+"""Tests for A_ROUTING on a routable series (Lemmas 9-11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ProtocolParams
+from repro.routing.series import SeriesRouter
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    return ProtocolParams(n=96, c=1.5, r=2, seed=3)
+
+
+class TestDeliveryNoChurn:
+    def test_single_message_delivered(self, params):
+        router = SeriesRouter(params)
+        router.send(0, 0.5, payload="hello")
+        router.run_until_quiet()
+        out = router.outcomes[0]
+        assert out.delivered
+        assert out.receivers
+
+    def test_dilation_exactly_2lam_plus_2(self, params):
+        """Lemma 9: dilation is exactly 2*lam + 2 from the initial multicast."""
+        router = SeriesRouter(params)
+        ids = [router.send(int(v), float(t)) for v, t in
+               zip(range(0, 96, 7), np.linspace(0.05, 0.95, 14))]
+        router.run_until_quiet()
+        for msg_id in ids:
+            out = router.outcomes[msg_id]
+            assert out.delivered
+            assert out.dilation == params.dilation
+
+    def test_receivers_are_target_swarm(self, params):
+        router = SeriesRouter(params)
+        target = 0.321
+        router.send(5, target)
+        router.run_until_quiet()
+        out = router.outcomes[0]
+        # The delivery epoch is the one current at delivered_round.
+        epoch = router.epoch_at(out.delivered_round)
+        swarm = set(
+            int(v) for v in router.index(epoch).ids_within(target, params.swarm_radius)
+        )
+        assert out.receivers == frozenset(swarm & router.alive)
+        assert len(out.receivers) > 0
+
+    def test_static_overlay_mode(self, params):
+        router = SeriesRouter(params, reconfigure=False)
+        router.send(0, 0.77)
+        router.run_until_quiet()
+        assert router.outcomes[0].delivered
+        # All epochs share one position table.
+        assert router.index(0).as_dict() == router.index(3).as_dict()
+
+    def test_many_messages_all_delivered(self, params):
+        router = SeriesRouter(params)
+        rng = np.random.default_rng(0)
+        for v in range(96):
+            router.send(v, float(rng.random()))
+        router.run_until_quiet()
+        delivered = sum(1 for o in router.outcomes.values() if o.delivered)
+        assert delivered == 96
+
+    def test_even_round_send_held_back_one_round(self, params):
+        """Messages handed over during an even round start next (odd) round."""
+        router = SeriesRouter(params)
+        assert router.round == 0  # even
+        router.send(0, 0.5)
+        router.step()
+        assert router.outcomes[0].initial_round is None
+        router.step()
+        assert router.outcomes[0].initial_round == 1
+
+    def test_send_from_dead_origin_rejected(self, params):
+        router = SeriesRouter(params)
+        router.kill([3])
+        with pytest.raises(ValueError):
+            router.send(3, 0.5)
+
+
+class TestDeliveryUnderChurn:
+    def test_random_churn_below_goodness_is_survivable(self, params):
+        """Killing a random ~10% of nodes mid-flight must not stop delivery."""
+        router = SeriesRouter(params)
+        rng = np.random.default_rng(7)
+        for v in range(0, 96, 3):
+            router.send(v, float(rng.random()))
+        victims = rng.choice(96, size=9, replace=False)
+        router.run(3)
+        router.kill(int(v) for v in victims)
+        router.run_until_quiet()
+        outcomes = list(router.outcomes.values())
+        delivered = sum(1 for o in outcomes if o.delivered)
+        assert delivered >= 0.9 * len(outcomes)
+
+    def test_wiping_a_full_swarm_kills_messages_there(self, params):
+        """If a whole swarm dies the message cannot survive (sanity check of
+        the goodness requirement — this is what a 0-late adversary exploits)."""
+        router = SeriesRouter(params, reconfigure=False)
+        target = 0.5
+        router.send(0, target)
+        router.run(2)  # initial multicast done, holders at S(x_0)
+        # Kill every node — extreme churn, certainly kills all swarms.
+        router.kill(list(router.alive))
+        router.run_until_quiet()
+        assert not router.outcomes[0].delivered
+
+    def test_dead_nodes_do_not_forward_or_receive(self, params):
+        router = SeriesRouter(params)
+        router.send(0, 0.9)
+        router.run(2)
+        dead = list(router.alive)[:10]
+        router.kill(dead)
+        router.run_until_quiet()
+        out = router.outcomes[0]
+        if out.delivered:
+            assert not (set(dead) & out.receivers)
+
+
+class TestCongestion:
+    def test_metrics_recorded(self, params):
+        router = SeriesRouter(params)
+        for v in range(96):
+            router.send(v, float(np.random.default_rng(1).random()))
+        router.run_until_quiet()
+        assert router.metrics.rounds > 0
+        assert router.metrics.total_messages() > 0
+
+    def test_congestion_scales_with_k(self, params):
+        """Lemma 9: congestion is O(k log n) — doubling k roughly doubles it."""
+        def peak(k: int) -> int:
+            router = SeriesRouter(params, seed=11)
+            rng = np.random.default_rng(5)
+            for v in range(96):
+                for _ in range(k):
+                    router.send(v, float(rng.random()))
+            router.run_until_quiet()
+            return router.metrics.peak_congestion()
+
+        p1, p4 = peak(1), peak(4)
+        assert 2.0 <= p4 / p1 <= 8.0
+
+
+class TestEpochBookkeeping:
+    def test_epoch_at(self, params):
+        router = SeriesRouter(params)
+        assert router.epoch_at(0) == 0
+        assert router.epoch_at(1) == 0
+        assert router.epoch_at(2) == 1
+        assert router.epoch_at(7) == 3
+
+    def test_reconfigure_changes_positions(self, params):
+        router = SeriesRouter(params)
+        assert router.index(0).as_dict() != router.index(2).as_dict()
+
+    def test_membership_frozen_at_first_consult(self, params):
+        router = SeriesRouter(params)
+        idx = router.index(0)
+        router.kill([0])
+        assert 0 in router.index(0)  # snapshot unchanged
+        assert 0 not in router.index(5)  # later epochs exclude the dead
+
+
+class TestOmissionFaults:
+    """Muted nodes are alive (occupy swarm slots) but never forward —
+    a strictly harsher failure mode than churn."""
+
+    def test_muted_fraction_tolerated(self, params):
+        import numpy as np
+
+        router = SeriesRouter(params, seed=21)
+        rng = np.random.default_rng(21)
+        router.mute(int(v) for v in rng.choice(96, size=12, replace=False))
+        ids = [router.send(v, float(rng.random())) for v in range(0, 96, 4)
+               if v not in router.muted]
+        router.run_until_quiet()
+        delivered = sum(1 for i in ids if router.outcomes[i].delivered)
+        assert delivered >= 0.95 * len(ids)
+
+    def test_fully_muted_swarm_stops_message(self, params):
+        router = SeriesRouter(params, seed=22, reconfigure=False)
+        router.send(0, 0.5)
+        router.run(2)
+        router.mute(router.alive)
+        router.run_until_quiet()
+        assert not router.outcomes[0].delivered
+
+    def test_muted_origin_never_launches(self, params):
+        router = SeriesRouter(params, seed=23)
+        router.mute([5])
+        router.send(5, 0.5)  # still alive, so the send is accepted...
+        router.run_until_quiet()
+        assert not router.outcomes[0].delivered  # ...but nothing ever leaves
+
+
+class TestJoinAndRepositionPeriod:
+    def test_join_adds_fresh_ids(self, params):
+        router = SeriesRouter(params)
+        new = router.join(3)
+        assert len(new) == 3
+        assert set(new) <= router.alive
+        assert min(new) >= params.n
+
+    def test_joiners_appear_in_future_epochs(self, params):
+        router = SeriesRouter(params)
+        router.index(0)  # materialise epoch 0
+        new = router.join(1)[0]
+        assert new not in router.index(0)
+        assert new in router.index(3)
+
+    def test_reposition_every_controls_position_changes(self, params):
+        slow = SeriesRouter(params, reposition_every=3)
+        assert slow.index(0).as_dict() == slow.index(2).as_dict()
+        assert slow.index(0).as_dict() != slow.index(3).as_dict()
+
+    def test_reposition_every_validated(self, params):
+        with pytest.raises(ValueError):
+            SeriesRouter(params, reposition_every=0)

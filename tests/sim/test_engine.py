@@ -1,0 +1,177 @@
+"""Tests for the synchronous round engine, using toy protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Adversary, ChurnDecision, JoinRequest
+from repro.adversary.budget import ChurnViolation
+from repro.config import ProtocolParams
+from repro.sim.engine import Engine, JoinNotice, NodeContext, NodeProtocol
+
+
+class EchoProtocol(NodeProtocol):
+    """Replies to every message; node 0 pings node 1 in round 0."""
+
+    def __init__(self, node_id: int, services) -> None:
+        self.node_id = node_id
+        self.received: list[tuple[int, object]] = []
+
+    def on_round(self, ctx: NodeContext) -> None:
+        self.received.extend(ctx.inbox)
+        if ctx.round == 0 and ctx.node_id == 0:
+            ctx.send(1, "ping")
+        for src, msg in ctx.inbox:
+            if msg == "ping":
+                ctx.send(src, "pong")
+
+
+class GossipProtocol(NodeProtocol):
+    """Round-robin flooding of a token along the id ring."""
+
+    def __init__(self, node_id: int, services) -> None:
+        self.node_id = node_id
+        self.seen = False
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if ctx.inbox:
+            self.seen = True
+        if ctx.round == 0 and ctx.node_id == 0:
+            self.seen = True
+        if self.seen:
+            ctx.send((ctx.node_id + 1) % ctx.params.n, "tok")
+
+
+def make_engine(protocol_cls, n=16, adversary=None, **kw):
+    params = ProtocolParams(n=n, seed=1, alpha=0.25)
+    eng = Engine(params, lambda v, s: protocol_cls(v, s), adversary=adversary, **kw)
+    eng.seed_nodes(range(n))
+    return eng
+
+
+class TestBasicExecution:
+    def test_message_takes_one_round(self):
+        eng = make_engine(EchoProtocol)
+        eng.run(1)
+        assert eng.protocol_of(1).received == []
+        eng.run(1)
+        assert eng.protocol_of(1).received == [(0, "ping")]
+
+    def test_reply_takes_another_round(self):
+        eng = make_engine(EchoProtocol)
+        eng.run(3)
+        assert (1, "pong") in eng.protocol_of(0).received
+
+    def test_edges_recorded(self):
+        eng = make_engine(EchoProtocol)
+        eng.run(2)
+        assert eng.trace.edges_at(0) == [(0, 1)]
+        assert eng.trace.edges_at(1) == [(1, 0)]
+
+    def test_metrics_recorded(self):
+        eng = make_engine(EchoProtocol)
+        reports = eng.run(2)
+        assert reports[0].metrics.total_sent == 1
+        assert reports[1].metrics.total_sent == 1
+        assert reports[0].alive == 16
+
+    def test_gossip_floods_ring(self):
+        eng = make_engine(GossipProtocol)
+        eng.run(17)
+        assert all(eng.protocol_of(v).seen for v in range(16))
+
+    def test_deterministic_given_seed(self):
+        a = make_engine(GossipProtocol)
+        b = make_engine(GossipProtocol)
+        ra = a.run(5)
+        rb = b.run(5)
+        assert [r.metrics.total_sent for r in ra] == [r.metrics.total_sent for r in rb]
+
+    def test_seed_nodes_only_once(self):
+        eng = make_engine(EchoProtocol)
+        with pytest.raises(RuntimeError):
+            eng.seed_nodes([99])
+
+
+class LeaveOneAdversary(Adversary):
+    """Churns out node 1 at round 1, replacing it with a new node."""
+
+    topology_lateness = 2
+
+    def __init__(self):
+        super().__init__(active_from=1)
+        self.done = False
+
+    def decide(self, view):
+        if self.done:
+            return ChurnDecision.none()
+        self.done = True
+        return ChurnDecision(
+            leaves=frozenset({1}),
+            joins=(JoinRequest(view.fresh_id(), 0),),
+        )
+
+
+class TestChurnSemantics:
+    def test_leaver_does_not_receive(self):
+        eng = make_engine(EchoProtocol, adversary=LeaveOneAdversary())
+        # Round 0: node 0 sends ping to 1. Round 1: node 1 leaves before receipt.
+        eng.run(2)
+        assert 1 not in eng.alive
+
+    def test_join_notice_delivered_to_bootstrap(self):
+        notices = []
+
+        class Rec(EchoProtocol):
+            def on_round(self, ctx):
+                notices.extend(
+                    m for _, m in ctx.inbox if isinstance(m, JoinNotice)
+                )
+                super().on_round(ctx)
+
+        eng = make_engine(Rec, adversary=LeaveOneAdversary())
+        eng.run(2)
+        assert notices == [JoinNotice(16)]
+
+    def test_new_node_age_tracked(self):
+        eng = make_engine(EchoProtocol, adversary=LeaveOneAdversary())
+        eng.run(2)
+        assert eng.lifecycle.joined_round(16) == 1
+
+    def test_trace_records_churn(self):
+        eng = make_engine(EchoProtocol, adversary=LeaveOneAdversary())
+        eng.run(2)
+        assert eng.trace.leaves_at(1) == (1,)
+        assert eng.trace.joins_at(1) == (16,)
+
+
+class GreedyAdversary(Adversary):
+    """Tries to churn out everything — must be stopped by the budget."""
+
+    topology_lateness = 2
+
+    def decide(self, view):
+        victims = sorted(view.alive)[: len(view.alive) // 2]
+        return ChurnDecision(leaves=frozenset(victims))
+
+
+class TestBudgetIntegration:
+    def test_strict_mode_raises(self):
+        eng = make_engine(EchoProtocol, adversary=GreedyAdversary())
+        with pytest.raises(ChurnViolation):
+            eng.run(1)
+
+    def test_lenient_mode_skips_and_reports(self):
+        eng = make_engine(EchoProtocol, adversary=GreedyAdversary(), strict_budget=False)
+        reports = eng.run(2)
+        assert all(r.rejected is not None for r in reports)
+        assert len(eng.alive) == 16  # nothing actually churned
+
+    def test_adversary_inactive_before_active_from(self):
+        adv = LeaveOneAdversary()
+        adv.active_from = 5
+        eng = make_engine(EchoProtocol, adversary=adv)
+        eng.run(5)
+        assert len(eng.alive) == 16
+        eng.run(1)
+        assert 1 not in eng.alive

@@ -1,0 +1,77 @@
+"""Tests for node lifecycle bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.identity import Lifecycle, NodeRecord
+
+
+class TestNodeRecord:
+    def test_alive_interval(self):
+        rec = NodeRecord(1, joined_round=3)
+        assert not rec.alive_at(2)
+        assert rec.alive_at(3)
+        assert rec.alive_at(100)
+        rec.left_round = 7
+        assert rec.alive_at(6)
+        assert not rec.alive_at(7)
+
+    def test_age(self):
+        rec = NodeRecord(1, joined_round=3)
+        assert rec.age_at(3) == 0
+        assert rec.age_at(10) == 7
+
+
+class TestLifecycle:
+    def test_add_remove(self):
+        lc = Lifecycle()
+        lc.add(1, 0)
+        lc.add(2, 0)
+        assert len(lc) == 2
+        assert 1 in lc
+        lc.remove(1, 5)
+        assert 1 not in lc
+        assert len(lc) == 1
+
+    def test_ids_immutable(self):
+        lc = Lifecycle()
+        lc.add(1, 0)
+        lc.remove(1, 2)
+        with pytest.raises(ValueError):
+            lc.add(1, 5)
+
+    def test_remove_dead_raises(self):
+        lc = Lifecycle()
+        with pytest.raises(KeyError):
+            lc.remove(1, 0)
+
+    def test_alive_at_reconstruction(self):
+        lc = Lifecycle()
+        lc.add(1, 0)
+        lc.add(2, 3)
+        lc.remove(1, 5)
+        assert lc.alive_at(0) == {1}
+        assert lc.alive_at(3) == {1, 2}
+        assert lc.alive_at(5) == {2}
+
+    def test_alive_since(self):
+        lc = Lifecycle()
+        lc.add(1, 0)
+        lc.add(2, 9)
+        assert lc.alive_since(10, 2) == {1}
+        assert lc.alive_since(11, 2) == {1, 2}
+
+    def test_next_id(self):
+        lc = Lifecycle()
+        assert lc.next_id() == 0
+        lc.add(5, 0)
+        assert lc.next_id() == 6
+        lc.remove(5, 1)
+        assert lc.next_id() == 6  # ids never reused
+
+    def test_age_and_joined_round(self):
+        lc = Lifecycle()
+        lc.add(4, 2)
+        assert lc.joined_round(4) == 2
+        assert lc.age(4, 7) == 5

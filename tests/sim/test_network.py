@@ -1,0 +1,99 @@
+"""Tests for message transport semantics."""
+
+from __future__ import annotations
+
+from repro.sim.network import Network
+
+
+class TestSendDeliver:
+    def test_basic_delivery(self):
+        net = Network()
+        net.send(1, 2, "hello")
+        edges, sent = net.close_send_phase()
+        assert edges == [(1, 2)]
+        assert sent == {1: 1}
+        inboxes, received = net.deliver({1, 2})
+        assert inboxes == {2: [(1, "hello")]}
+        assert received == {2: 1}
+
+    def test_churned_receiver_gets_nothing(self):
+        """A node churned out before delivery receives nothing (immediacy)."""
+        net = Network()
+        net.send(1, 2, "hello")
+        net.close_send_phase()
+        inboxes, _ = net.deliver({1})  # 2 is gone
+        assert inboxes == {}
+
+    def test_churned_sender_messages_still_delivered(self):
+        """Messages sent in t-1 by a node that leaves at t are delivered."""
+        net = Network()
+        net.send(1, 2, "bye")
+        net.close_send_phase()
+        inboxes, _ = net.deliver({2})  # 1 is gone
+        assert inboxes == {2: [(1, "bye")]}
+
+    def test_edges_recorded_even_for_dead_receivers(self):
+        """The edge exists at send time; the adversary sees it regardless."""
+        net = Network()
+        net.send(1, 2, "x")
+        edges, _ = net.close_send_phase()
+        assert (1, 2) in edges
+
+    def test_no_same_round_delivery(self):
+        """A message sent this round is not in this round's delivery."""
+        net = Network()
+        inboxes, _ = net.deliver(set())
+        assert inboxes == {}
+        net.send(1, 2, "x")
+        # Not yet closed: nothing pending for delivery.
+        assert net.has_pending
+
+
+class TestMulticast:
+    def test_send_many(self):
+        net = Network()
+        net.send_many(1, [2, 3, 4], "m")
+        edges, sent = net.close_send_phase()
+        assert sorted(edges) == [(1, 2), (1, 3), (1, 4)]
+        assert sent == {1: 3}
+        inboxes, received = net.deliver({2, 3, 4})
+        assert all(inboxes[d] == [(1, "m")] for d in (2, 3, 4))
+        assert received == {2: 1, 3: 1, 4: 1}
+
+    def test_payload_shared_not_copied(self):
+        net = Network()
+        payload = {"k": 1}
+        net.send_many(1, [2, 3], payload)
+        net.close_send_phase()
+        inboxes, _ = net.deliver({2, 3})
+        assert inboxes[2][0][1] is inboxes[3][0][1]
+
+    def test_empty_multicast_noop(self):
+        net = Network()
+        net.send_many(1, [], "m")
+        edges, sent = net.close_send_phase()
+        assert edges == [] and sent == {}
+
+    def test_partial_survivors(self):
+        net = Network()
+        net.send_many(1, [2, 3], "m")
+        net.close_send_phase()
+        inboxes, _ = net.deliver({3})
+        assert inboxes == {3: [(1, "m")]}
+
+
+class TestRoundIsolation:
+    def test_counts_reset_between_rounds(self):
+        net = Network()
+        net.send(1, 2, "a")
+        net.close_send_phase()
+        _, sent = net.close_send_phase()
+        assert sent == {}
+
+    def test_pending_cleared_after_delivery(self):
+        net = Network()
+        net.send(1, 2, "a")
+        net.close_send_phase()
+        net.deliver({2})
+        inboxes, _ = net.deliver({2})
+        assert inboxes == {}

@@ -1,0 +1,72 @@
+"""Tests for the graph-series recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import GraphTrace
+
+
+class TestRecording:
+    def test_basic(self):
+        tr = GraphTrace()
+        tr.record(0, [(1, 2)], frozenset({1, 2}))
+        assert tr.edges_at(0) == [(1, 2)]
+        assert tr.alive_at(0) == frozenset({1, 2})
+        assert tr.last_round == 0
+
+    def test_consecutive_rounds_enforced(self):
+        tr = GraphTrace()
+        tr.record(0, [], frozenset())
+        with pytest.raises(ValueError):
+            tr.record(2, [], frozenset())
+
+    def test_ring_buffer_eviction(self):
+        tr = GraphTrace(edge_depth=2)
+        for t in range(4):
+            tr.record(t, [(t, t + 1)], frozenset({t}))
+        assert tr.edges_at(0) is None
+        assert tr.edges_at(1) is None
+        assert tr.edges_at(2) == [(2, 3)]
+        assert tr.edges_at(3) == [(3, 4)]
+        # Alive sets are kept for the whole run.
+        assert tr.alive_at(0) == frozenset({0})
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            GraphTrace(edge_depth=0)
+
+    def test_joins_leaves(self):
+        tr = GraphTrace()
+        tr.record(0, [], frozenset({1}), joins=(1,), leaves=(9,))
+        assert tr.joins_at(0) == (1,)
+        assert tr.leaves_at(0) == (9,)
+        assert tr.joins_at(5) == ()
+
+
+class TestQueries:
+    def test_survivors(self):
+        tr = GraphTrace()
+        tr.record(0, [], frozenset({1, 2, 3}))
+        tr.record(1, [], frozenset({2, 3, 4}))
+        assert tr.survivors(0, 1) == frozenset({2, 3})
+
+    def test_survivors_missing_round(self):
+        tr = GraphTrace()
+        tr.record(0, [], frozenset())
+        with pytest.raises(KeyError):
+            tr.survivors(0, 5)
+
+    def test_contacts_and_out_neighbors(self):
+        tr = GraphTrace()
+        tr.record(0, [(1, 2), (3, 1), (2, 3)], frozenset({1, 2, 3}))
+        assert tr.out_neighbors_at(0, 1) == {2}
+        assert tr.contacts_of(0, 1) == {2, 3}
+        assert tr.contacts_of(0, 9) == set()
+
+    def test_queries_on_evicted_round_empty(self):
+        tr = GraphTrace(edge_depth=1)
+        tr.record(0, [(1, 2)], frozenset({1, 2}))
+        tr.record(1, [], frozenset({1, 2}))
+        assert tr.out_neighbors_at(0, 1) == set()
+        assert tr.contacts_of(0, 1) == set()

@@ -1,0 +1,75 @@
+"""Tests for the CLI and the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.report import render_report, run_all, write_report
+
+
+class TestCliList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("E-T1", "E-L9", "E-T14", "E-AB", "E-X1", "E-X2"):
+            assert eid in out
+
+
+class TestCliParams:
+    def test_prints_derived_values(self, capsys):
+        assert main(["params", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "lam: 8" in out
+        assert "dilation: 18" in out
+
+    def test_overrides(self, capsys):
+        assert main(["params", "128", "--c", "2.5", "--alpha", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "c: 2.5" in out
+        assert "alpha: 0.25" in out
+
+
+class TestCliRun:
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["run", "E-F1"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["run", "E-NOPE"]) == 2
+
+    def test_seed_forwarded(self, capsys):
+        assert main(["run", "E-F1", "--seed", "5"]) == 0
+
+
+class TestReport:
+    def make_result(self, eid="E-X", passed=True):
+        return ExperimentResult(
+            experiment_id=eid,
+            title="demo",
+            claim="c",
+            header=["a"],
+            rows=[[1]],
+            passed=passed,
+        )
+
+    def test_render_report(self):
+        text = render_report([self.make_result(), self.make_result("E-Y", False)])
+        assert "| E-X | demo | PASS |" in text
+        assert "| E-Y | demo | FAIL |" in text
+        assert "### E-X" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", [self.make_result()])
+        assert path.read_text().startswith("# Experiment report")
+
+    def test_run_all_subset(self):
+        results = run_all(quick=True, only=["E-F1"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "E-F1"
+
+    def test_run_all_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            run_all(only=["E-NOPE"])

@@ -1,0 +1,134 @@
+"""Tests for fixed-point De Bruijn address arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    address_from_bits,
+    address_of,
+    bits_of_address,
+    debruijn_prefix_address,
+    debruijn_step,
+    num_address_bits,
+    point_of,
+)
+
+lam_st = st.integers(min_value=1, max_value=16)
+
+
+class TestNumAddressBits:
+    def test_power_of_two(self):
+        assert num_address_bits(64, 1.0) == 6
+
+    def test_rounds_up(self):
+        assert num_address_bits(65, 1.0) == 7
+
+    def test_kappa_inflates(self):
+        assert num_address_bits(64, 1.0625) == 7
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            num_address_bits(1, 1.0)
+
+    def test_rejects_kappa_below_one(self):
+        with pytest.raises(ValueError):
+            num_address_bits(64, 0.5)
+
+
+class TestAddressOf:
+    def test_zero(self):
+        assert address_of(0.0, 4) == 0
+
+    def test_half(self):
+        assert address_of(0.5, 4) == 8
+
+    def test_near_one_clamped(self):
+        assert address_of(0.999999999999, 4) == 15
+
+    def test_unwrapped_input(self):
+        assert address_of(1.5, 4) == 8
+
+    @given(st.floats(min_value=0, max_value=1, exclude_max=True), lam_st)
+    def test_in_range(self, p, lam):
+        assert 0 <= address_of(p, lam) < (1 << lam)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_point_roundtrip(self, addr):
+        assert address_of(point_of(addr, 8), 8) == addr
+
+
+class TestPointOf:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            point_of(16, 4)
+        with pytest.raises(ValueError):
+            point_of(-1, 4)
+
+    def test_values(self):
+        assert point_of(0, 4) == 0.0
+        assert point_of(8, 4) == 0.5
+
+
+class TestBitsRoundtrip:
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_roundtrip(self, addr):
+        assert address_from_bits(bits_of_address(addr, 10)) == addr
+
+    def test_msb_first(self):
+        assert bits_of_address(0b1000, 4) == (1, 0, 0, 0)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            address_from_bits((0, 2))
+
+
+class TestDebruijnStep:
+    def test_push_zero(self):
+        # x = 0b1111, push 0: -> 0b0111
+        assert debruijn_step(0b1111, 0, 4) == 0b0111
+
+    def test_push_one(self):
+        assert debruijn_step(0b0000, 1, 4) == 0b1000
+
+    def test_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            debruijn_step(0, 2, 4)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(0, 1))
+    def test_matches_real_map(self, addr, bit):
+        """Integer step approximates x -> (x + bit)/2 within 2**-lam."""
+        lam = 8
+        x = point_of(addr, lam)
+        stepped = point_of(debruijn_step(addr, bit, lam), lam)
+        ideal = (x + bit) / 2.0
+        assert abs(stepped - ideal) <= 2.0**-lam
+
+
+class TestPrefixAddress:
+    @given(
+        st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255)
+    )
+    def test_endpoints(self, src, dst):
+        lam = 8
+        assert debruijn_prefix_address(src, dst, 0, lam) == src
+        assert debruijn_prefix_address(src, dst, lam, lam) == dst
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_iterated_steps(self, src, dst, i):
+        """Prefix address equals i pushes of dst's bits, LSB first."""
+        lam = 8
+        x = src
+        for j in range(i):
+            bit = (dst >> j) & 1
+            x = debruijn_step(x, bit, lam)
+        assert debruijn_prefix_address(src, dst, i, lam) == x
+
+    def test_rejects_out_of_range_step(self):
+        with pytest.raises(ValueError):
+            debruijn_prefix_address(0, 0, 9, 8)

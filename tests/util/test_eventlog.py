@@ -1,0 +1,62 @@
+"""Tests for the structured event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.eventlog import Event, EventLog
+
+
+class TestLogging:
+    def test_log_and_len(self):
+        log = EventLog()
+        log.log(0, "join", node=5)
+        log.log(1, "leave", node=6)
+        assert len(log) == 2
+
+    def test_rejects_bad_inputs(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.log(-1, "x")
+        with pytest.raises(ValueError):
+            log.log(0, "")
+
+    def test_queries(self):
+        log = EventLog()
+        log.log(0, "join", node=1)
+        log.log(3, "join", node=2)
+        log.log(5, "leave", node=1)
+        assert len(log.of_kind("join")) == 2
+        assert [e.round for e in log.in_rounds(1, 4)] == [3]
+        assert len(log.where(lambda e: e.fields.get("node") == 1)) == 2
+        assert log.kinds() == {"join", "leave"}
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        e = Event(round=4, kind="probe", fields={"id": 7, "target": 0.5})
+        again = Event.from_json(e.to_json())
+        assert again == e
+
+    def test_dump_load(self, tmp_path):
+        log = EventLog()
+        log.log(0, "a", x=1)
+        log.log(1, "b", y="z")
+        path = log.dump(tmp_path / "events.jsonl")
+        loaded = EventLog.load(path)
+        assert loaded.events == log.events
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        p = tmp_path / "e.jsonl"
+        p.write_text('{"round": 0, "kind": "a"}\n\n')
+        assert len(EventLog.load(p)) == 1
+
+    def test_iter_jsonl(self):
+        log = EventLog()
+        log.log(0, "a")
+        assert list(log.iter_jsonl()) == [log.events[0].to_json()]
+
+    def test_non_serialisable_fields_stringified(self):
+        log = EventLog()
+        log.log(0, "x", obj=frozenset({1}))
+        assert "frozenset" in log.events[0].to_json()

@@ -1,0 +1,219 @@
+"""Unit and property tests for ring-interval algebra."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import (
+    Arc,
+    arc_union_length,
+    arcs_overlap,
+    is_left_of,
+    ring_distance,
+    ring_distance_array,
+    wrap,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+class TestRingDistance:
+    def test_zero_for_identical_points(self):
+        assert ring_distance(0.3, 0.3) == 0.0
+
+    def test_simple_gap(self):
+        assert ring_distance(0.2, 0.5) == pytest.approx(0.3)
+
+    def test_wraps_around_zero(self):
+        assert ring_distance(0.95, 0.05) == pytest.approx(0.1)
+
+    def test_antipodal_is_half(self):
+        assert ring_distance(0.0, 0.5) == pytest.approx(0.5)
+
+    def test_accepts_unwrapped_inputs(self):
+        assert ring_distance(1.2, 0.2) == pytest.approx(0.0)
+
+    @given(unit, unit)
+    def test_symmetric(self, u, v):
+        assert ring_distance(u, v) == pytest.approx(ring_distance(v, u))
+
+    @given(unit, unit)
+    def test_bounded_by_half(self, u, v):
+        assert 0.0 <= ring_distance(u, v) <= 0.5
+
+    @given(unit, unit, unit)
+    def test_triangle_inequality(self, u, v, w):
+        assert ring_distance(u, w) <= ring_distance(u, v) + ring_distance(v, w) + 1e-12
+
+    @given(st.lists(unit, min_size=1, max_size=8), unit)
+    def test_array_matches_scalar(self, points, center):
+        arr = np.array(points)
+        out = ring_distance_array(arr, center)
+        for p, d in zip(points, out):
+            assert d == pytest.approx(ring_distance(p, center))
+
+
+class TestLeftOf:
+    def test_plain_order(self):
+        assert is_left_of(0.2, 0.4)
+        assert not is_left_of(0.4, 0.2)
+
+    def test_reversed_across_wrap(self):
+        # |u - v| > 1/2 reverses the relation (the short way crosses 0).
+        assert is_left_of(0.9, 0.1)
+        assert not is_left_of(0.1, 0.9)
+
+    def test_not_left_of_itself(self):
+        assert not is_left_of(0.5, 0.5)
+
+    @given(unit, unit)
+    def test_antisymmetric(self, u, v):
+        if u != v and abs(u - v) != 0.5:
+            assert is_left_of(u, v) != is_left_of(v, u)
+
+
+class TestArc:
+    def test_contains_center(self):
+        assert Arc(0.5, 0.01).contains(0.5)
+
+    def test_contains_wrapped_point(self):
+        assert Arc(0.99, 0.05).contains(0.02)
+        assert not Arc(0.99, 0.05).contains(0.2)
+
+    def test_endpoints_inclusive(self):
+        arc = Arc(0.5, 0.1)
+        assert arc.contains(0.4)
+        assert arc.contains(0.6)
+
+    def test_full_ring(self):
+        assert Arc(0.3, 0.5).is_full
+        assert Arc(0.3, 0.6).contains(0.9)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Arc(0.5, -0.1)
+
+    def test_center_wrapped(self):
+        assert Arc(1.25, 0.1).center == pytest.approx(0.25)
+
+    def test_length(self):
+        assert Arc(0.5, 0.1).length == pytest.approx(0.2)
+        assert Arc(0.5, 0.9).length == 1.0
+
+    def test_lo_hi(self):
+        arc = Arc(0.05, 0.1)
+        assert arc.lo == pytest.approx(0.95)
+        assert arc.hi == pytest.approx(0.15)
+
+    def test_scaled_half_branch0(self):
+        arc = Arc(0.5, 0.2).scaled_half(0)
+        assert arc.center == pytest.approx(0.25)
+        assert arc.radius == pytest.approx(0.1)
+
+    def test_scaled_half_branch1(self):
+        arc = Arc(0.5, 0.2).scaled_half(1)
+        assert arc.center == pytest.approx(0.75)
+        assert arc.radius == pytest.approx(0.1)
+
+    def test_scaled_half_rejects_bad_branch(self):
+        with pytest.raises(ValueError):
+            Arc(0.5, 0.2).scaled_half(2)
+
+    def test_expanded(self):
+        arc = Arc(0.5, 0.1).expanded(0.05)
+        assert arc.radius == pytest.approx(0.15)
+
+    @given(unit, st.floats(min_value=0.0, max_value=0.49), unit)
+    def test_contains_matches_distance(self, center, radius, p):
+        assert Arc(center, radius).contains(p) == (
+            ring_distance(p, center) <= radius
+        )
+
+    @given(
+        st.lists(unit, min_size=1, max_size=16),
+        unit,
+        st.floats(min_value=0.0, max_value=0.49),
+    )
+    def test_contains_array_matches_scalar(self, points, center, radius):
+        arc = Arc(center, radius)
+        mask = arc.contains_array(np.array(points))
+        for p, m in zip(points, mask):
+            assert bool(m) == arc.contains(p)
+
+    @given(unit, st.floats(min_value=1e-6, max_value=0.4), unit)
+    def test_scaled_half_maps_members(self, center, radius, p):
+        """If p is in the arc then (p + i)/2 is in the scaled arc."""
+        arc = Arc(center, radius)
+        if arc.contains(p):
+            # Tiny tolerance absorbs one-ulp rounding at arc boundaries.
+            half0 = arc.scaled_half(0).expanded(1e-12)
+            half1 = arc.scaled_half(1).expanded(1e-12)
+            for branch in (0, 1):
+                img = wrap((p + branch) / 2.0)
+                # Both (p+0)/2 and (p+1)/2 land in one of the two half-images.
+                assert half0.contains(img) or half1.contains(img)
+
+
+class TestArcsOverlap:
+    def test_overlapping(self):
+        assert arcs_overlap(Arc(0.1, 0.1), Arc(0.25, 0.1))
+
+    def test_disjoint(self):
+        assert not arcs_overlap(Arc(0.1, 0.05), Arc(0.5, 0.05))
+
+    def test_wrap_overlap(self):
+        assert arcs_overlap(Arc(0.98, 0.05), Arc(0.02, 0.05))
+
+    def test_full_overlaps_everything(self):
+        assert arcs_overlap(Arc(0.0, 0.5), Arc(0.7, 0.0))
+
+
+class TestArcUnionLength:
+    def test_empty(self):
+        assert arc_union_length([]) == 0.0
+
+    def test_single(self):
+        assert arc_union_length([Arc(0.5, 0.1)]) == pytest.approx(0.2)
+
+    def test_disjoint_pair(self):
+        got = arc_union_length([Arc(0.2, 0.05), Arc(0.6, 0.05)])
+        assert got == pytest.approx(0.2)
+
+    def test_overlapping_pair(self):
+        got = arc_union_length([Arc(0.2, 0.1), Arc(0.25, 0.1)])
+        assert got == pytest.approx(0.25)
+
+    def test_wrapping_arc(self):
+        got = arc_union_length([Arc(0.0, 0.1)])
+        assert got == pytest.approx(0.2)
+
+    def test_full_ring_caps_at_one(self):
+        assert arc_union_length([Arc(0.0, 0.6)]) == 1.0
+
+    @given(st.lists(st.tuples(unit, st.floats(min_value=0, max_value=0.3)), max_size=6))
+    def test_union_bounds(self, spec):
+        arcs = [Arc(c, r) for c, r in spec]
+        total = arc_union_length(arcs)
+        assert 0.0 <= total <= 1.0
+        if arcs:
+            assert total >= max(a.length for a in arcs) - 1e-9
+            assert total <= sum(a.length for a in arcs) + 1e-9
+
+
+class TestWrap:
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_range(self, x):
+        assert 0.0 <= wrap(x) < 1.0
+
+    def test_identity_on_unit(self):
+        assert wrap(0.25) == 0.25
+
+    def test_negative(self):
+        assert wrap(-0.25) == pytest.approx(0.75)
+
+    def test_integer_maps_to_zero(self):
+        assert wrap(3.0) == 0.0

@@ -1,0 +1,72 @@
+"""Tests for the text ring renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ProtocolParams
+from repro.overlay.lds import LDSGraph
+from repro.util.intervals import Arc
+from repro.util.ringviz import render_arcs, render_density, render_node_anatomy
+
+
+class TestRenderDensity:
+    def test_width_respected(self):
+        out = render_density({0: 0.1, 1: 0.9}, width=40)
+        assert len(out.splitlines()[0]) == 42  # width + 2 pipes
+
+    def test_empty(self):
+        out = render_density({}, width=20)
+        assert out.splitlines()[0] == "|" + " " * 20 + "|"
+
+    def test_dense_bucket_darker(self):
+        positions = {i: 0.25 for i in range(50)}
+        positions[99] = 0.75
+        strip = render_density(positions, width=40).splitlines()[0]
+        dense = strip[1 + int(0.25 * 40)]
+        sparse = strip[1 + int(0.75 * 40)]
+        assert dense == "@"
+        assert sparse != "@" and sparse != " "
+
+    def test_accepts_iterable(self):
+        out = render_density([0.5, 0.6], width=20)
+        assert "|" in out
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            render_density({}, width=4)
+
+
+class TestRenderArcs:
+    def test_marks_covered_buckets(self):
+        out = render_arcs({"a": Arc(0.5, 0.1)}, width=40)
+        row = out.split("|")[1]
+        assert row[int(0.5 * 40)] == "#"
+        assert row[int(0.05 * 40)] == " "
+
+    def test_wrapping_arc(self):
+        out = render_arcs({"w": Arc(0.0, 0.1)}, width=40)
+        row = out.split("|")[1]
+        assert row[0] == "#" and row[-1] == "#"
+        assert row[20] == " "
+
+    def test_point_arc_still_visible(self):
+        out = render_arcs({"pt": Arc(0.3, 0.0)}, width=40)
+        assert "#" in out
+
+    def test_labels_aligned(self):
+        out = render_arcs({"a": Arc(0.1, 0.05), "longer": Arc(0.2, 0.05)}, width=30)
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestNodeAnatomy:
+    def test_renders_all_arcs(self, rng):
+        params = ProtocolParams(n=64, seed=2)
+        graph = LDSGraph.random(params, rng)
+        v = int(graph.node_ids[0])
+        out = render_node_anatomy(graph, v, width=60)
+        assert "list arc" in out
+        assert "DB arc v/2" in out
+        assert f"node {v}" in out

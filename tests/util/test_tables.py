@@ -1,0 +1,53 @@
+"""Tests for table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_markdown_table, format_table, format_value
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_compact(self):
+        assert format_value(0.123456) == "0.1235"
+
+    def test_float_scientific_for_small(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bee"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestMarkdownTable:
+    def test_shape(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
