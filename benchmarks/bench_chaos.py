@@ -1,0 +1,16 @@
+"""Chaos benchmark — the E-CH fault-injection sweep at benchmark sizes.
+
+Regenerates the drop x delay x stall degradation table (routing success and
+first-degradation round per cell) and persists it under results/.  Quick
+mode runs the sparse screening grid; ``--full`` runs the complete cross
+product at n=48.
+"""
+
+from __future__ import annotations
+
+
+def test_chaos_sweep(run_experiment):
+    result = run_experiment("E-CH")
+    # The sweep always contains the fault-free baseline plus fault cells.
+    assert any(row[0] == 0.0 and row[1] == 0.0 and row[2] == 0.0 for row in result.rows)
+    assert any(row[0] > 0 or row[1] > 0 or row[2] > 0 for row in result.rows)

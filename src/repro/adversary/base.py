@@ -50,7 +50,18 @@ class Adversary(abc.ABC):
 
     ``active_from`` implements the bootstrap phase: the engine does not
     consult the adversary before that round.
+
+    ``topology_lateness`` / ``state_lateness`` declare how stale the
+    adversary's view is (the paper's ``a`` and ``b``); the engine reads them
+    directly when building the :class:`~repro.adversary.view.AdversaryView`.
+    The defaults — 2-late on topology, effectively oblivious of internal
+    state — are the model the maintenance algorithm is proved against;
+    subclasses override them (as class or instance attributes) to study
+    other lateness regimes.
     """
+
+    topology_lateness: int = 2
+    state_lateness: int = 10**9
 
     def __init__(self, active_from: int = 0) -> None:
         self.active_from = active_from

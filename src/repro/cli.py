@@ -10,6 +10,10 @@ Commands
     Run the whole suite in artefact order and write a markdown report.
 ``params N [--c C] [--r R] ...``
     Print the derived protocol parameters for a network size.
+``chaos [--full] [--seed S] [--drop ...] [--delay ...] [--stall ...]``
+    Fault-injection sweep (drop x delay x stall) reporting routing success
+    and first-degradation round per cell; axes are comma-separated
+    probability lists and default to the E-CH experiment's grid.
 """
 
 from __future__ import annotations
@@ -69,6 +73,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _parse_axis(value: str | None, name: str) -> list[float] | None:
+    """A comma-separated probability list, validated to [0, 1]."""
+    if value is None:
+        return None
+    try:
+        probs = [float(v) for v in value.split(",") if v.strip()]
+    except ValueError:
+        raise SystemExit(f"--{name} expects comma-separated floats, got {value!r}")
+    if not probs or any(not 0.0 <= p <= 1.0 for p in probs):
+        raise SystemExit(f"--{name} probabilities must lie in [0, 1], got {value!r}")
+    return probs
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.e_chaos import run_chaos
+
+    drops = _parse_axis(args.drop, "drop")
+    delays = _parse_axis(args.delay, "delay")
+    stalls = _parse_axis(args.stall, "stall")
+    cells = None
+    if drops is not None or delays is not None or stalls is not None:
+        cells = [
+            (d, y, s)
+            for d in (drops or [0.0])
+            for y in (delays or [0.0])
+            for s in (stalls or [0.0])
+        ]
+    kwargs = {"quick": not args.full}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = run_chaos(cells=cells, **kwargs)
+    print(result.to_table())
+    return 0 if result.passed else 1
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.c is not None:
@@ -102,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--full", action="store_true")
     p_rep.add_argument("--out", default=None)
 
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep (drop x delay x stall)"
+    )
+    p_chaos.add_argument("--full", action="store_true", help="full-size sweep")
+    p_chaos.add_argument("--seed", type=int, default=None)
+    p_chaos.add_argument("--drop", default=None, metavar="P[,P...]")
+    p_chaos.add_argument("--delay", default=None, metavar="P[,P...]")
+    p_chaos.add_argument("--stall", default=None, metavar="P[,P...]")
+
     p_par = sub.add_parser("params", help="show derived parameters for n")
     p_par.add_argument("n", type=int)
     p_par.add_argument("--c", type=float, default=None)
@@ -114,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "report": _cmd_report,
         "params": _cmd_params,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

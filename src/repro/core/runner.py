@@ -21,6 +21,8 @@ import numpy as np
 from repro.adversary.base import Adversary
 from repro.config import ProtocolParams
 from repro.core.bootstrap import prime_initial_overlay
+from repro.faults.health import HealthMonitor
+from repro.faults.plan import FaultPlan
 from repro.core.node import MaintenanceNode, Phase
 from repro.overlay.lds import LDSGraph
 from repro.overlay.positions import PositionIndex
@@ -75,14 +77,19 @@ class MaintenanceSimulation:
         trace_depth: int = 8,
         distributed_bootstrap: bool = False,
         node_cls: type[MaintenanceNode] = MaintenanceNode,
+        faults: FaultPlan | None = None,
+        health: HealthMonitor | None = None,
     ) -> None:
         self.params = params
+        self.health = health
         self.engine = Engine(
             params,
             lambda v, services: node_cls(v, services),
             adversary=adversary,
             strict_budget=strict_budget,
             trace_depth=trace_depth,
+            faults=faults,
+            health=health,
         )
         self.engine.seed_nodes(range(params.n))
         if distributed_bootstrap:
@@ -224,7 +231,7 @@ class MaintenanceSimulation:
         """One-line health metrics for long-run monitoring."""
         alive = self.alive_nodes()
         established = sum(1 for n in alive if n.phase is Phase.ESTABLISHED)
-        return {
+        summary = {
             "round": float(self.round),
             "alive": float(len(alive)),
             "established_fraction": established / max(1, len(alive)),
@@ -232,3 +239,9 @@ class MaintenanceSimulation:
             "peak_congestion": float(self.engine.metrics.peak_congestion()),
             "mean_congestion": float(self.engine.metrics.mean_congestion()),
         }
+        if self.engine.faults is not None:
+            totals = self.engine.metrics.fault_totals()
+            summary["faults_injected"] = float(totals.injected)
+        if self.health is not None:
+            summary["degradation_events"] = float(len(self.health.events))
+        return summary

@@ -9,6 +9,7 @@ Importing this package registers every experiment; run them via::
 
 from repro.experiments import (  # noqa: F401  (imports register experiments)
     e_ablation,
+    e_chaos,
     e_collapse,
     e_comparison,
     e_congestion,

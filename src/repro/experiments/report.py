@@ -28,6 +28,7 @@ DEFAULT_ORDER = (
     "E-T14",
     "E-L24",
     "E-AB",
+    "E-CH",
     "E-X1",
     "E-X2",
     "E-X3",

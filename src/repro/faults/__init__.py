@@ -1,0 +1,29 @@
+"""Deterministic fault injection and health monitoring.
+
+The paper assumes a perfectly reliable synchronous network; this package
+removes that assumption in a controlled, reproducible way:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` (message drops /
+  delays / duplicates, node stalls, ring partitions) with activity windows;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the keyed-PRF
+  oracle the network and engine consult (same seed + plan = same schedule);
+* :mod:`repro.faults.health` — :class:`HealthMonitor`, per-round overlay
+  invariant audits emitting structured :class:`DegradationEvent`s.
+
+Wire a plan into a run with ``Engine(..., faults=plan, health=monitor)`` or
+``MaintenanceSimulation(..., faults=plan, health=monitor)``.
+"""
+
+from repro.faults.health import DegradationEvent, HealthMonitor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+
+__all__ = [
+    "DegradationEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthMonitor",
+    "MessageFaults",
+    "NodeStall",
+    "RingPartition",
+]

@@ -1,0 +1,193 @@
+"""Deterministic fault oracle — turns a :class:`FaultPlan` into decisions.
+
+The injector sits at the :meth:`Network.close_send_phase` boundary (the
+network calls :meth:`message_fates` once per frozen receiver) and answers
+the engine's per-node :meth:`stalled` queries during the compute phase.
+
+Every decision is a keyed-BLAKE2b coin over ``(kind, round, sequence, src,
+dst, rule index)`` — the same construction as the position hash in
+:mod:`repro.util.rngs`.  Because decisions are *hash-derived* rather than
+drawn from a shared RNG stream, the schedule depends only on the plan seed
+and the (deterministic) order of sends: the same seed and plan always
+reproduce the identical fault schedule, and a plan whose rules never fire
+consumes no entropy, never alters delivery order, and never perturbs any
+protocol RNG — the zero-overhead-when-off property the experiments rely on.
+
+Send-time edges are *not* affected by faults: a dropped or delayed message
+still created the edge ``(src, dst)`` in ``E_t`` (the adversary observes the
+send attempt; the environment eats the payload afterwards).
+
+Hot path: one 24-byte digest yields the drop/delay/duplicate coins of one
+(message, rule) pair, and rounds where no message rule is active skip the
+PRF entirely (``message_faults_active`` lets the network keep multicasts
+un-exploded on such rounds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+from repro.sim.metrics import FaultRoundStats
+from repro.util.rngs import PositionHash
+
+__all__ = ["FaultInjector"]
+
+_U64 = float(1 << 64)
+
+#: Fate of an undisturbed message: one copy, one round of latency.
+_CLEAN_FATE = (1,)
+
+
+class FaultInjector:
+    """Per-run fault schedule: message fates, node stalls, round accounting."""
+
+    def __init__(
+        self, plan: FaultPlan, position_hash: PositionHash | None = None
+    ) -> None:
+        self.plan = plan
+        self._hash = position_hash
+        if plan.partitions and position_hash is None:
+            raise ValueError("RingPartition rules require a position hash")
+        self._key = (plan.seed & ((1 << 128) - 1)).to_bytes(16, "little")
+        # Pre-keyed, domain-separated hash states; per-event coins clone
+        # these and append the packed scope (much faster than re-keying).
+        self._msg_base = hashlib.blake2b(b"msg", key=self._key, digest_size=24)
+        self._stall_base = hashlib.blake2b(b"stall", key=self._key, digest_size=24)
+        self._round = -1
+        self._seq = 0
+        self._dropped = 0
+        self._delayed = 0
+        self._duplicated = 0
+        self._stalled = 0
+        # Per-round rule activity (refreshed by begin_round).
+        self._msg_rules: list[tuple[int, MessageFaults]] = []
+        self._stall_rules: list[tuple[int, NodeStall]] = []
+        self._partitions: list[RingPartition] = []
+        # Position cache for partition cuts, keyed per epoch.
+        self._pos_epoch = -1
+        self._pos_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # PRF coins
+    # ------------------------------------------------------------------
+
+    def _coins3(self, base, a: int, b: int, c: int, d: int, e: int):
+        """Three uniform [0, 1) coins from the seed and the packed scope."""
+        h = base.copy()
+        h.update(struct.pack("<qqqqq", a, b, c, d, e))
+        x, y, z = struct.unpack("<QQQ", h.digest())
+        return x / _U64, y / _U64, z / _U64
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_round(self, t: int) -> None:
+        """Reset per-round counters and rule activity (engine, round start)."""
+        self._round = t
+        self._seq = 0
+        self._dropped = 0
+        self._delayed = 0
+        self._duplicated = 0
+        self._stalled = 0
+        self._msg_rules = [
+            (i, r)
+            for i, r in enumerate(self.plan.messages)
+            if not r.is_trivial and r.active(t)
+        ]
+        self._stall_rules = [
+            (i, r)
+            for i, r in enumerate(self.plan.stalls)
+            if r.stall_p and r.active(t)
+        ]
+        self._partitions = [r for r in self.plan.partitions if r.active(t)]
+        if self._partitions and t // 2 != self._pos_epoch:
+            self._pos_epoch = t // 2
+            self._pos_cache = {}
+
+    def round_stats(self) -> FaultRoundStats | None:
+        """This round's injected-fault counts, or ``None`` if nothing fired."""
+        if not (self._dropped or self._delayed or self._duplicated or self._stalled):
+            return None
+        return FaultRoundStats(
+            dropped=self._dropped,
+            delayed=self._delayed,
+            duplicated=self._duplicated,
+            stalled=self._stalled,
+        )
+
+    # ------------------------------------------------------------------
+    # Node-level faults (queried by the engine during the compute phase)
+    # ------------------------------------------------------------------
+
+    def stalled(self, t: int, v: int) -> bool:
+        """Whether node ``v`` skips its compute phase this round."""
+        for i, rule in self._stall_rules:
+            if (
+                rule.eligible(v)
+                and self._coins3(self._stall_base, t, v, i, 0, 0)[0] < rule.stall_p
+            ):
+                self._stalled += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Message-level faults (the Network hook)
+    # ------------------------------------------------------------------
+
+    @property
+    def message_faults_active(self) -> bool:
+        """Whether any message rule or partition can fire this round.
+
+        The network uses this to keep the fast, un-exploded multicast path
+        on rounds where the plan is quiet (e.g. before a fault window opens).
+        """
+        return bool(self._msg_rules or self._partitions)
+
+    def _position(self, v: int) -> float:
+        p = self._pos_cache.get(v)
+        if p is None:
+            p = self._hash.position(v, self._pos_epoch)
+            self._pos_cache[v] = p
+        return p
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        p_src = self._position(src)
+        p_dst = self._position(dst)
+        return any(r.inside(p_src) != r.inside(p_dst) for r in self._partitions)
+
+    def message_fates(self, t: int, src: int, dst: int) -> tuple[int, ...]:
+        """Delivery fates for one frozen (src, dst) message of round ``t``.
+
+        Returns a tuple of latencies in rounds — ``(1,)`` for an undisturbed
+        message, ``()`` for a dropped one, ``(1 + k,)`` for a delayed one,
+        and one extra entry per duplicate.  The network files one pending
+        copy per entry.
+        """
+        if self._partitions and self._crosses_partition(src, dst):
+            self._dropped += 1
+            return ()
+        if not self._msg_rules:
+            return _CLEAN_FATE
+        seq = self._seq
+        self._seq += 1
+        extra = 0
+        duplicates = 0
+        for i, rule in self._msg_rules:
+            drop_u, delay_u, dup_u = self._coins3(self._msg_base, t, seq, src, dst, i)
+            if drop_u < rule.drop_p:
+                self._dropped += 1
+                return ()
+            if delay_u < rule.delay_p:
+                extra += rule.delay_rounds
+            if dup_u < rule.duplicate_p:
+                duplicates += 1
+        if extra == 0 and duplicates == 0:
+            return _CLEAN_FATE
+        if extra:
+            self._delayed += 1
+        if duplicates:
+            self._duplicated += duplicates
+        return tuple([1 + extra] * (1 + duplicates))

@@ -1,0 +1,186 @@
+"""Declarative, seed-reproducible fault plans.
+
+A :class:`FaultPlan` describes *environmental* faults — conditions of the
+network and the machines, outside the adversary's churn budget — as a
+composition of three rule families:
+
+* :class:`MessageFaults` — per-message omission (drop with probability
+  ``drop_p``), latency (delay by ``delay_rounds`` extra rounds with
+  probability ``delay_p``) and duplication (``duplicate_p``);
+* :class:`NodeStall` — transient compute stalls: an affected node skips its
+  compute phase for the rounds where the rule fires (it stays alive and its
+  in-flight messages are unaffected, but its inbox for the stalled round is
+  lost and it sends nothing);
+* :class:`RingPartition` — a position cut on the ``[0, 1)`` ring: while
+  active, every message whose endpoints lie on opposite sides of the arc
+  ``[lo, hi)`` is blocked.
+
+Every rule carries an activity window ``[start, end)`` in rounds (``end``
+``None`` = forever).  The plan itself is pure data; all randomness lives in
+:class:`repro.faults.injector.FaultInjector`, which derives per-event
+decisions from the plan ``seed`` with a keyed PRF — the same seed and plan
+always produce the identical fault schedule, independent of any other RNG
+stream in the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MessageFaults", "NodeStall", "RingPartition", "FaultPlan"]
+
+
+def _check_probability(name: str, p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {p}")
+
+
+def _check_window(start: int, end: int | None) -> None:
+    if start < 0:
+        raise ValueError(f"window start must be >= 0, got {start}")
+    if end is not None and end <= start:
+        raise ValueError(f"window end must exceed start, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Message-level faults applied independently to every unicast receiver."""
+
+    drop_p: float = 0.0
+    delay_p: float = 0.0
+    delay_rounds: int = 1
+    duplicate_p: float = 0.0
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("drop_p", self.drop_p)
+        _check_probability("delay_p", self.delay_p)
+        _check_probability("duplicate_p", self.duplicate_p)
+        if self.delay_rounds < 1:
+            raise ValueError(f"delay_rounds must be >= 1, got {self.delay_rounds}")
+        _check_window(self.start, self.end)
+
+    def active(self, t: int) -> bool:
+        return t >= self.start and (self.end is None or t < self.end)
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.drop_p == 0.0 and self.delay_p == 0.0 and self.duplicate_p == 0.0
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """Transient stalls: each eligible node skips compute w.p. ``stall_p``."""
+
+    stall_p: float = 0.0
+    nodes: frozenset[int] | None = None  # None = every alive node is eligible
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("stall_p", self.stall_p)
+        _check_window(self.start, self.end)
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", frozenset(int(v) for v in self.nodes))
+
+    def active(self, t: int) -> bool:
+        return t >= self.start and (self.end is None or t < self.end)
+
+    def eligible(self, v: int) -> bool:
+        return self.nodes is None or v in self.nodes
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.stall_p == 0.0
+
+
+@dataclass(frozen=True)
+class RingPartition:
+    """Block every message crossing the position cut of the arc ``[lo, hi)``.
+
+    Node positions are evaluated with the shared position hash for the
+    current epoch (``e = t // 2``), matching the 2-round overlay cadence —
+    the partition separates *regions of the ring*, not fixed node ids, just
+    as a geographic cut would.
+    """
+
+    lo: float
+    hi: float
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lo < 1.0 or not 0.0 <= self.hi < 1.0:
+            raise ValueError(f"cut endpoints must lie in [0, 1), got [{self.lo}, {self.hi})")
+        if self.lo == self.hi:
+            raise ValueError("cut arc must be non-empty")
+        _check_window(self.start, self.end)
+
+    def active(self, t: int) -> bool:
+        return t >= self.start and (self.end is None or t < self.end)
+
+    def inside(self, p: float) -> bool:
+        """Whether position ``p`` lies inside the arc (wrap-aware)."""
+        if self.lo < self.hi:
+            return self.lo <= p < self.hi
+        return p >= self.lo or p < self.hi
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composition of fault rules plus the seed of their PRF schedule."""
+
+    seed: int = 0
+    messages: tuple[MessageFaults, ...] = ()
+    stalls: tuple[NodeStall, ...] = ()
+    partitions: tuple[RingPartition, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "messages", tuple(self.messages))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no rule can ever fire (the plan is a no-op)."""
+        return (
+            all(r.is_trivial for r in self.messages)
+            and all(r.is_trivial for r in self.stalls)
+            and not self.partitions
+        )
+
+    @staticmethod
+    def none(seed: int = 0) -> "FaultPlan":
+        """An explicitly empty plan (useful as a zero-fault baseline)."""
+        return FaultPlan(seed=seed)
+
+    @staticmethod
+    def simple(
+        seed: int = 0,
+        *,
+        drop_p: float = 0.0,
+        delay_p: float = 0.0,
+        delay_rounds: int = 1,
+        duplicate_p: float = 0.0,
+        stall_p: float = 0.0,
+        start: int = 0,
+        end: int | None = None,
+    ) -> "FaultPlan":
+        """One message rule + one stall rule sharing a window (the common case)."""
+        messages: tuple[MessageFaults, ...] = ()
+        stalls: tuple[NodeStall, ...] = ()
+        if drop_p or delay_p or duplicate_p:
+            messages = (
+                MessageFaults(
+                    drop_p=drop_p,
+                    delay_p=delay_p,
+                    delay_rounds=delay_rounds,
+                    duplicate_p=duplicate_p,
+                    start=start,
+                    end=end,
+                ),
+            )
+        if stall_p:
+            stalls = (NodeStall(stall_p=stall_p, start=start, end=end),)
+        return FaultPlan(seed=seed, messages=messages, stalls=stalls)

@@ -29,6 +29,9 @@ from repro.adversary.base import Adversary, ChurnDecision
 from repro.adversary.budget import ChurnLedger, ChurnViolation
 from repro.adversary.view import AdversaryView
 from repro.config import ProtocolParams
+from repro.faults.health import DegradationEvent, HealthMonitor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.sim.identity import Lifecycle
 from repro.sim.metrics import MetricsCollector, RoundMetrics
 from repro.sim.network import Inbox, Network
@@ -116,12 +119,17 @@ ProtocolFactory = Callable[[int, EngineServices], NodeProtocol]
 
 @dataclass(frozen=True)
 class RoundReport:
-    """What happened in one engine round."""
+    """What happened in one engine round.
+
+    ``health`` carries the degradation events the attached
+    :class:`~repro.faults.health.HealthMonitor` (if any) emitted this round.
+    """
 
     round: int
     decision: ChurnDecision
     rejected: str | None
     metrics: RoundMetrics
+    health: tuple[DegradationEvent, ...] = ()
 
     @property
     def alive(self) -> int:
@@ -140,6 +148,8 @@ class Engine:
         trace_depth: int = 16,
         strict_budget: bool = True,
         join_min_age: int = 2,
+        faults: FaultPlan | None = None,
+        health: HealthMonitor | None = None,
     ) -> None:
         self.params = params
         self.rng_service = RngService(params.seed)
@@ -153,6 +163,15 @@ class Engine:
         self.strict_budget = strict_budget
         self.lifecycle = Lifecycle()
         self.network = Network()
+        self.fault_plan = faults
+        self.faults = (
+            FaultInjector(faults, position_hash=self.services.position_hash)
+            if faults is not None
+            else None
+        )
+        if self.faults is not None:
+            self.network.fault_hook = self.faults
+        self.health = health
         self.trace = GraphTrace(edge_depth=trace_depth)
         self.metrics = MetricsCollector()
         self.ledger = ChurnLedger(params, join_min_age=join_min_age)
@@ -196,6 +215,8 @@ class Engine:
 
     def run_round(self) -> RoundReport:
         t = self.round
+        if self.faults is not None:
+            self.faults.begin_round(t)
 
         # 1. Adversary phase.
         decision = ChurnDecision.none()
@@ -205,8 +226,8 @@ class Engine:
                 t,
                 self.trace,
                 self.lifecycle,
-                topology_lateness=getattr(self.adversary, "topology_lateness", 2),
-                state_lateness=getattr(self.adversary, "state_lateness", 10**9),
+                topology_lateness=self.adversary.topology_lateness,
+                state_lateness=self.adversary.state_lateness,
                 budget_remaining=self.ledger.remaining(t),
             )
             proposed = self.adversary.decide(view)
@@ -230,16 +251,29 @@ class Engine:
             join_notices.setdefault(j.bootstrap_id, []).append(JoinNotice(j.new_id))
         self.ledger.commit(t, decision)
 
-        # 2. Receive phase (post-churn survivors only).
+        # 2. Receive phase (post-churn survivors only).  A node joining this
+        # round receives nothing this round: everything due now was sent
+        # before it existed, so its id cannot legitimately be addressed yet
+        # (and a delayed copy must never leak into a join round).
         alive = self.lifecycle.alive
-        inboxes, received = self.network.deliver(alive)
+        receivers = (
+            alive.difference(j.new_id for j in decision.joins)
+            if decision.joins
+            else alive
+        )
+        inboxes, received = self.network.deliver(receivers)
         for w, notices in join_notices.items():
             # The reference arrives out of band (handed over by the adversary);
             # it is knowledge, not a message, so it adds no edge.
             inboxes.setdefault(w, []).extend((-1, n) for n in notices)
 
-        # 3. Compute + send phase, deterministic node order.
+        # 3. Compute + send phase, deterministic node order.  A stalled node
+        # skips its compute phase entirely: its inbox for this round is lost
+        # and it sends nothing (a transient omission fault — it stays alive
+        # and messages already in flight to it are unaffected).
         for v in sorted(alive):
+            if self.faults is not None and self.faults.stalled(t, v):
+                continue
             ctx = NodeContext(
                 node_id=v,
                 t=t,
@@ -259,8 +293,20 @@ class Engine:
             joins=tuple(j.new_id for j in decision.joins),
             leaves=tuple(decision.leaves),
         )
-        metrics = self.metrics.record_round(t, sent, received, len(alive))
-        report = RoundReport(round=t, decision=decision, rejected=rejected, metrics=metrics)
+        fault_stats = self.faults.round_stats() if self.faults is not None else None
+        metrics = self.metrics.record_round(
+            t, sent, received, len(alive), faults=fault_stats
+        )
+        health_events: tuple[DegradationEvent, ...] = ()
+        if self.health is not None:
+            health_events = self.health.observe(self, t)
+        report = RoundReport(
+            round=t,
+            decision=decision,
+            rejected=rejected,
+            metrics=metrics,
+            health=health_events,
+        )
         self.reports.append(report)
         self.round += 1
         return report

@@ -12,12 +12,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RoundMetrics", "MetricsCollector"]
+__all__ = ["FaultRoundStats", "RoundMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class FaultRoundStats:
+    """Injected-fault counts for one round (see :mod:`repro.faults`)."""
+
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    stalled: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total fault events injected this round."""
+        return self.dropped + self.delayed + self.duplicated + self.stalled
 
 
 @dataclass(frozen=True)
 class RoundMetrics:
-    """Aggregated message statistics for one round."""
+    """Aggregated message statistics for one round.
+
+    ``faults`` is ``None`` unless a fault layer injected something this
+    round — a faultless run's metrics are indistinguishable from a run
+    without the fault layer at all.
+    """
 
     round: int
     total_sent: int
@@ -26,6 +46,7 @@ class RoundMetrics:
     max_received: int
     mean_received: float
     alive: int
+    faults: FaultRoundStats | None = None
 
 
 @dataclass
@@ -40,6 +61,7 @@ class MetricsCollector:
         sent_per_node: dict[int, int],
         received_per_node: dict[int, int],
         alive_count: int,
+        faults: FaultRoundStats | None = None,
     ) -> RoundMetrics:
         sent = np.fromiter(sent_per_node.values(), dtype=np.int64) if sent_per_node else np.zeros(1, dtype=np.int64)
         recv = (
@@ -55,6 +77,7 @@ class MetricsCollector:
             max_received=int(recv.max()),
             mean_received=float(recv.sum() / max(1, alive_count)),
             alive=alive_count,
+            faults=faults,
         )
         self.history.append(metrics)
         return metrics
@@ -85,3 +108,13 @@ class MetricsCollector:
     def congestion_series(self) -> np.ndarray:
         """Per-round max_sent values, for scaling-law fits."""
         return np.array([m.max_sent for m in self.history], dtype=np.int64)
+
+    def fault_totals(self) -> FaultRoundStats:
+        """Lifetime injected-fault totals (all-zero when no faults fired)."""
+        stats = [m.faults for m in self.history if m.faults is not None]
+        return FaultRoundStats(
+            dropped=sum(s.dropped for s in stats),
+            delayed=sum(s.delayed for s in stats),
+            duplicated=sum(s.duplicated for s in stats),
+            stalled=sum(s.stalled for s in stats),
+        )

@@ -15,28 +15,55 @@ hands each surviving receiver its inbox.
 Multicasts (one payload to many receivers) are first-class: the payload object
 is shared, not copied, which keeps the ``O(log^3 n)``-messages-per-node
 protocol affordable in pure Python while message/edge counts stay exact.
+
+**Fault hook.**  An optional :attr:`Network.fault_hook` (duck-typed to
+:class:`repro.faults.injector.FaultInjector`) is consulted once per frozen
+receiver at ``close_send_phase``: it returns the message's *fates* — a tuple
+of delivery latencies in rounds (``(1,)`` = normal, ``()`` = dropped,
+``(1+k,)`` = delayed, extra entries = duplicates).  The pending queue is a
+set of latency buckets, so delayed copies simply sit in a higher bucket
+until their round comes; churn is still checked at delivery time, so a node
+that leaves while a delayed message is in flight never receives it.  Edges
+are frozen *before* the hook runs — a dropped message still created its
+edge (the adversary observes send attempts, the environment eats payloads).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence
 
-__all__ = ["Network", "Inbox"]
+__all__ = ["Network", "Inbox", "FaultHook"]
 
 # An inbox is a list of (sender id, message object) pairs.
 Inbox = list[tuple[int, object]]
 
 
+class FaultHook(Protocol):  # pragma: no cover - typing aid only
+    """What the network needs from a fault injector."""
+
+    @property
+    def message_faults_active(self) -> bool: ...
+
+    def message_fates(self, t: int, src: int, dst: int) -> tuple[int, ...]: ...
+
+
 class Network:
-    """Collects sends during a round and delivers them the next round."""
+    """Collects sends during a round and delivers them the next round(s)."""
 
     def __init__(self) -> None:
         self._sending: list[tuple[int, int, object]] = []
         self._sending_multi: list[tuple[int, tuple[int, ...], object]] = []
-        self._pending: list[tuple[int, int, object]] = []
-        self._pending_multi: list[tuple[int, tuple[int, ...], object]] = []
+        # Pending queues, bucketed by delivery countdown: bucket ``k`` is
+        # delivered at the ``k``-th next ``deliver`` call (normal traffic
+        # lives in bucket 1; only faults populate higher buckets).
+        self._pending: dict[int, list[tuple[int, int, object]]] = {}
+        self._pending_multi: dict[int, list[tuple[int, Sequence[int], object]]] = {}
         self._sent_counts: defaultdict[int, int] = defaultdict(int)
+        #: Optional fault injector (see module docstring); ``None`` = the
+        #: paper's perfectly reliable synchronous network.
+        self.fault_hook: FaultHook | None = None
+        self._round = 0  # rounds closed so far (the ``t`` passed to the hook)
 
     # ------------------------------------------------------------------
     # Sending (called by nodes during their compute phase)
@@ -52,22 +79,24 @@ class Network:
     ) -> None:
         """Multicast the same payload to several receivers (one edge each).
 
-        ``dsts`` may be any sequence, including a NumPy id array — receivers
-        are not copied or converted on this hot path (NumPy integer ids hash
-        and compare like Python ints).
+        ``dsts`` may be any iterable, including a NumPy id array; receiver
+        ids are coerced to plain ``int`` exactly like :meth:`send` so trace
+        edges and inbox keys stay type-consistent across both paths.
         """
-        if not hasattr(dsts, "__len__"):
-            dsts = tuple(dsts)
-        if len(dsts) == 0:
+        dsts = tuple(int(d) for d in dsts)
+        if not dsts:
             return
         self._sending_multi.append((src, dsts, msg))
         self._sent_counts[src] += len(dsts)
 
     @property
     def has_pending(self) -> bool:
-        """Whether any messages are awaiting delivery."""
+        """Whether any messages are awaiting delivery (any bucket)."""
         return bool(
-            self._pending or self._pending_multi or self._sending or self._sending_multi
+            self._sending
+            or self._sending_multi
+            or any(self._pending.values())
+            or any(self._pending_multi.values())
         )
 
     # ------------------------------------------------------------------
@@ -77,7 +106,8 @@ class Network:
     def close_send_phase(self) -> tuple[list[tuple[int, int]], dict[int, int]]:
         """Freeze this round's sends: returns ``(E_t, sent_counts)``.
 
-        The messages move to the pending queue for next round's delivery.
+        The messages move to the pending buckets for later delivery; the
+        fault hook (if any) assigns each receiver its fates here.
         """
         edges: list[tuple[int, int]] = []
         for src, dst, _ in self._sending:
@@ -86,33 +116,59 @@ class Network:
             for dst in dsts:
                 edges.append((src, dst))
         sent = dict(self._sent_counts)
-        self._pending = self._sending
-        self._pending_multi = self._sending_multi
+        hook = self.fault_hook
+        if hook is None or not hook.message_faults_active:
+            self._pending.setdefault(1, []).extend(self._sending)
+            self._pending_multi.setdefault(1, []).extend(self._sending_multi)
+        else:
+            self._apply_faults(hook)
         self._sending = []
         self._sending_multi = []
         self._sent_counts = defaultdict(int)
+        self._round += 1
         return edges, sent
+
+    def _apply_faults(self, hook: FaultHook) -> None:
+        """File each frozen message into its fate buckets."""
+        t = self._round
+        pending = self._pending
+        pending_multi = self._pending_multi
+        for src, dst, msg in self._sending:
+            for latency in hook.message_fates(t, src, dst):
+                pending.setdefault(latency, []).append((src, dst, msg))
+        for src, dsts, msg in self._sending_multi:
+            # Group surviving receivers by latency so the shared-payload
+            # multicast structure (and in-bucket receiver order) is kept;
+            # an undisturbed multicast stays one entry in bucket 1.
+            groups: dict[int, list[int]] = {}
+            for dst in dsts:
+                for latency in hook.message_fates(t, src, dst):
+                    groups.setdefault(latency, []).append(dst)
+            for latency, group in groups.items():
+                pending_multi.setdefault(latency, []).append((src, group, msg))
 
     def deliver(
         self, alive: frozenset[int] | set[int]
     ) -> tuple[dict[int, Inbox], dict[int, int]]:
-        """Deliver pending messages to surviving receivers.
+        """Deliver due pending messages to surviving receivers.
 
         Returns ``(inboxes, received_counts)``.  Must be called after the
         round's churn has been applied so that churned-out nodes receive
-        nothing.
+        nothing.  Higher buckets shift down one step per call.
         """
+        due = self._pending.pop(1, [])
+        due_multi = self._pending_multi.pop(1, [])
+        self._pending = {k - 1: v for k, v in self._pending.items()}
+        self._pending_multi = {k - 1: v for k, v in self._pending_multi.items()}
         inboxes: dict[int, Inbox] = defaultdict(list)
         received: defaultdict[int, int] = defaultdict(int)
-        for src, dst, msg in self._pending:
+        for src, dst, msg in due:
             if dst in alive:
                 inboxes[dst].append((src, msg))
                 received[dst] += 1
-        for src, dsts, msg in self._pending_multi:
+        for src, dsts, msg in due_multi:
             for dst in dsts:
                 if dst in alive:
                     inboxes[dst].append((src, msg))
                     received[dst] += 1
-        self._pending = []
-        self._pending_multi = []
         return dict(inboxes), dict(received)

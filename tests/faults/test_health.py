@@ -1,0 +1,159 @@
+"""Tests for the HealthMonitor's invariant audits, using toy protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolParams
+from repro.faults.health import HealthMonitor
+from repro.sim.engine import Engine, NodeContext, NodeProtocol
+
+
+class RingProtocol(NodeProtocol):
+    """Every node talks to its ring successor each round (connected graph)."""
+
+    def __init__(self, node_id: int, services) -> None:
+        self.node_id = node_id
+
+    def on_round(self, ctx: NodeContext) -> None:
+        ctx.send((ctx.node_id + 1) % ctx.params.n, "hb")
+
+
+class TwoIslandsProtocol(NodeProtocol):
+    """Nodes only ever talk within their half — a permanently split graph."""
+
+    def __init__(self, node_id: int, services) -> None:
+        self.node_id = node_id
+
+    def on_round(self, ctx: NodeContext) -> None:
+        half = ctx.params.n // 2
+        base = 0 if ctx.node_id < half else half
+        ctx.send(base + (ctx.node_id - base + 1) % half, "hb")
+
+
+class SilentProtocol(NodeProtocol):
+    """Never sends anything."""
+
+    def __init__(self, node_id: int, services) -> None:
+        self.node_id = node_id
+
+    def on_round(self, ctx: NodeContext) -> None:
+        pass
+
+
+class OverlayStub(NodeProtocol):
+    """Exposes pos/epoch/d_nbrs so the structural audits engage.
+
+    Positions are spread evenly over the ring, neighbourhoods are the
+    symmetric ring edges — a healthy overlay by construction.  Class
+    attributes let tests break one invariant at a time.
+    """
+
+    broken_symmetry = False
+    collapse_positions = False
+
+    def __init__(self, node_id: int, services) -> None:
+        self.node_id = node_id
+        n = services.params.n
+        self.pos = 0.0 if self.collapse_positions else node_id / n
+        self.epoch = 0
+        left, right = (node_id - 1) % n, (node_id + 1) % n
+        self.d_nbrs = {left: None, right: None}
+        if self.broken_symmetry and node_id == 0:
+            self.d_nbrs[n // 2] = None  # node n//2 does not point back
+
+    def on_round(self, ctx: NodeContext) -> None:
+        ctx.send((ctx.node_id + 1) % ctx.params.n, "hb")
+
+
+def run_monitored(protocol_cls, rounds=3, n=16, **monitor_kw):
+    params = ProtocolParams(n=n, seed=1, alpha=0.25)
+    monitor = HealthMonitor(params, **monitor_kw)
+    eng = Engine(params, lambda v, s: protocol_cls(v, s), health=monitor)
+    eng.seed_nodes(range(n))
+    reports = eng.run(rounds)
+    return monitor, reports
+
+
+class TestValidation:
+    def test_sample_points_positive(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(ProtocolParams(n=16, seed=1), sample_points=0)
+
+    def test_every_positive(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(ProtocolParams(n=16, seed=1), every=0)
+
+
+class TestConnectivityAudit:
+    def test_connected_graph_no_events(self):
+        monitor, _ = run_monitored(RingProtocol)
+        assert monitor.events == []
+        assert monitor.first_degradation_round is None
+
+    def test_split_graph_reports_disconnected(self):
+        monitor, reports = run_monitored(TwoIslandsProtocol)
+        kinds = {e.kind for e in monitor.events}
+        assert kinds == {"disconnected"}
+        assert all(e.severity == "critical" for e in monitor.events)
+        assert monitor.first_degradation_round == 0
+        # Events also flow through the round reports.
+        assert reports[0].health == (monitor.events[0],)
+
+    def test_silent_window_is_not_a_partition(self):
+        monitor, _ = run_monitored(SilentProtocol)
+        assert monitor.events == []
+
+    def test_every_skips_intermediate_rounds(self):
+        monitor, _ = run_monitored(TwoIslandsProtocol, rounds=4, every=2)
+        assert [e.round for e in monitor.events] == [0, 2]
+
+
+class TestStructuralAudits:
+    def setup_method(self):
+        OverlayStub.broken_symmetry = False
+        OverlayStub.collapse_positions = False
+
+    teardown_method = setup_method
+
+    def test_healthy_overlay_no_events(self):
+        monitor, _ = run_monitored(OverlayStub, rounds=2)
+        assert monitor.events == []
+
+    def test_one_sided_edge_reports_asymmetry(self):
+        OverlayStub.broken_symmetry = True
+        monitor, _ = run_monitored(OverlayStub, rounds=1)
+        kinds = monitor.counts_by_kind()
+        assert kinds.get("asymmetric-list") == 1
+        assert monitor.events[0].severity == "warn"
+
+    def test_collapsed_positions_report_empty_swarms(self):
+        OverlayStub.collapse_positions = True
+        monitor, _ = run_monitored(OverlayStub, rounds=1)
+        assert "empty-swarm" in monitor.counts_by_kind()
+        assert any(e.severity == "critical" for e in monitor.events)
+
+    def test_observing_never_perturbs_the_run(self):
+        params = ProtocolParams(n=16, seed=1, alpha=0.25)
+        plain = Engine(params, lambda v, s: RingProtocol(v, s))
+        plain.seed_nodes(range(16))
+        watched = Engine(
+            params, lambda v, s: RingProtocol(v, s), health=HealthMonitor(params)
+        )
+        watched.seed_nodes(range(16))
+        m0 = [r.metrics for r in plain.run(4)]
+        m1 = [r.metrics for r in watched.run(4)]
+        assert m0 == m1
+
+
+class TestSummaries:
+    def test_summary_shape(self):
+        monitor, _ = run_monitored(TwoIslandsProtocol, rounds=2)
+        s = monitor.summary()
+        assert s["events"] == 2
+        assert s["first_degradation_round"] == 0
+        assert s["events_disconnected"] == 2
+
+    def test_empty_summary(self):
+        monitor, _ = run_monitored(RingProtocol, rounds=1)
+        assert monitor.summary() == {"events": 0, "first_degradation_round": None}

@@ -1,0 +1,175 @@
+"""Tests for the deterministic fault injector (PRF schedules and fates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+from repro.util.rngs import RngService
+
+
+def msg_plan(seed=7, **kw):
+    return FaultPlan(seed=seed, messages=(MessageFaults(**kw),))
+
+
+class TestMessageFates:
+    def test_clean_without_rules(self):
+        inj = FaultInjector(FaultPlan.none())
+        inj.begin_round(0)
+        assert not inj.message_faults_active
+        assert inj.message_fates(0, 1, 2) == (1,)
+        assert inj.round_stats() is None
+
+    def test_certain_drop(self):
+        inj = FaultInjector(msg_plan(drop_p=1.0))
+        inj.begin_round(0)
+        for dst in range(2, 10):
+            assert inj.message_fates(0, 1, dst) == ()
+        assert inj.round_stats().dropped == 8
+        assert inj.round_stats().injected == 8
+
+    def test_certain_delay(self):
+        inj = FaultInjector(msg_plan(delay_p=1.0, delay_rounds=3))
+        inj.begin_round(0)
+        assert inj.message_fates(0, 1, 2) == (4,)
+        assert inj.round_stats().delayed == 1
+
+    def test_certain_duplicate(self):
+        inj = FaultInjector(msg_plan(duplicate_p=1.0))
+        inj.begin_round(0)
+        assert inj.message_fates(0, 1, 2) == (1, 1)
+        assert inj.round_stats().duplicated == 1
+
+    def test_delay_and_duplicate_compose(self):
+        inj = FaultInjector(msg_plan(delay_p=1.0, delay_rounds=2, duplicate_p=1.0))
+        inj.begin_round(0)
+        assert inj.message_fates(0, 1, 2) == (3, 3)
+
+    def test_window_gates_activity(self):
+        inj = FaultInjector(msg_plan(drop_p=1.0, start=5, end=7))
+        inj.begin_round(4)
+        assert not inj.message_faults_active
+        assert inj.message_fates(4, 1, 2) == (1,)
+        inj.begin_round(5)
+        assert inj.message_faults_active
+        assert inj.message_fates(5, 1, 2) == ()
+        inj.begin_round(7)
+        assert not inj.message_faults_active
+
+    def test_counters_reset_each_round(self):
+        inj = FaultInjector(msg_plan(drop_p=1.0))
+        inj.begin_round(0)
+        inj.message_fates(0, 1, 2)
+        inj.begin_round(1)
+        assert inj.round_stats() is None
+
+    def test_empirical_drop_rate(self):
+        inj = FaultInjector(msg_plan(drop_p=0.5))
+        inj.begin_round(0)
+        dropped = sum(
+            inj.message_fates(0, src, dst) == ()
+            for src in range(20)
+            for dst in range(20)
+        )
+        assert 0.35 < dropped / 400 < 0.65
+
+
+class TestPartitions:
+    def make(self, lo=0.0, hi=0.5):
+        ph = RngService(3).position_hash()
+        plan = FaultPlan(seed=1, partitions=(RingPartition(lo=lo, hi=hi),))
+        return FaultInjector(plan, position_hash=ph), ph
+
+    def test_requires_position_hash(self):
+        plan = FaultPlan(partitions=(RingPartition(0.0, 0.5),))
+        with pytest.raises(ValueError):
+            FaultInjector(plan)
+
+    def test_crossing_messages_dropped_same_side_clean(self):
+        inj, ph = self.make()
+        inj.begin_round(0)
+        cut = RingPartition(0.0, 0.5)
+        inside = [v for v in range(40) if cut.inside(ph.position(v, 0))]
+        outside = [v for v in range(40) if not cut.inside(ph.position(v, 0))]
+        assert inside and outside
+        assert inj.message_fates(0, inside[0], outside[0]) == ()
+        assert inj.message_fates(0, outside[0], inside[0]) == ()
+        assert inj.message_fates(0, inside[0], inside[1]) == (1,)
+        assert inj.message_fates(0, outside[0], outside[1]) == (1,)
+        assert inj.round_stats().dropped == 2
+
+    def test_partition_follows_epoch_positions(self):
+        """The cut separates ring regions, so its node sets move per epoch."""
+        inj, ph = self.make()
+        cut = RingPartition(0.0, 0.5)
+        # Find a pair that crosses in epoch 0 but not in epoch 2.
+        pair = next(
+            (u, v)
+            for u in range(30)
+            for v in range(30)
+            if u != v
+            and cut.inside(ph.position(u, 0)) != cut.inside(ph.position(v, 0))
+            and cut.inside(ph.position(u, 2)) == cut.inside(ph.position(v, 2))
+        )
+        inj.begin_round(0)
+        assert inj.message_fates(0, *pair) == ()
+        inj.begin_round(4)  # epoch 2
+        assert inj.message_fates(4, *pair) == (1,)
+
+
+class TestStalls:
+    def test_certain_stall(self):
+        plan = FaultPlan(seed=2, stalls=(NodeStall(stall_p=1.0),))
+        inj = FaultInjector(plan)
+        inj.begin_round(0)
+        assert all(inj.stalled(0, v) for v in range(8))
+        assert inj.round_stats().stalled == 8
+        # Stalls alone never touch the message path.
+        assert not inj.message_faults_active
+
+    def test_targeted_nodes_only(self):
+        plan = FaultPlan(seed=2, stalls=(NodeStall(stall_p=1.0, nodes=frozenset({5})),))
+        inj = FaultInjector(plan)
+        inj.begin_round(0)
+        assert inj.stalled(0, 5)
+        assert not inj.stalled(0, 6)
+
+    def test_window(self):
+        plan = FaultPlan(seed=2, stalls=(NodeStall(stall_p=1.0, start=3),))
+        inj = FaultInjector(plan)
+        inj.begin_round(2)
+        assert not inj.stalled(2, 1)
+        inj.begin_round(3)
+        assert inj.stalled(3, 1)
+
+    def test_empirical_stall_rate(self):
+        plan = FaultPlan(seed=2, stalls=(NodeStall(stall_p=0.3),))
+        inj = FaultInjector(plan)
+        hits = 0
+        for t in range(20):
+            inj.begin_round(t)
+            hits += sum(inj.stalled(t, v) for v in range(20))
+        assert 0.15 < hits / 400 < 0.45
+
+
+class TestDeterminism:
+    def drive(self, plan):
+        inj = FaultInjector(plan)
+        fates = []
+        for t in range(5):
+            inj.begin_round(t)
+            for src in range(6):
+                for dst in range(6):
+                    fates.append(inj.message_fates(t, src, dst))
+                fates.append(inj.stalled(t, src))
+        return fates
+
+    def test_same_seed_identical_schedule(self):
+        plan = FaultPlan.simple(seed=13, drop_p=0.3, delay_p=0.3, stall_p=0.2)
+        assert self.drive(plan) == self.drive(plan)
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan.simple(seed=13, drop_p=0.5, stall_p=0.3)
+        b = FaultPlan.simple(seed=14, drop_p=0.5, stall_p=0.3)
+        assert self.drive(a) != self.drive(b)

@@ -1,0 +1,102 @@
+"""Tests for FaultPlan rule validation and composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+
+
+class TestMessageFaults:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            MessageFaults(drop_p=1.5)
+        with pytest.raises(ValueError):
+            MessageFaults(delay_p=-0.1)
+        with pytest.raises(ValueError):
+            MessageFaults(duplicate_p=2.0)
+
+    def test_delay_rounds_positive(self):
+        with pytest.raises(ValueError):
+            MessageFaults(delay_p=0.5, delay_rounds=0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MessageFaults(drop_p=0.1, start=-1)
+        with pytest.raises(ValueError):
+            MessageFaults(drop_p=0.1, start=5, end=5)
+
+    def test_active_window(self):
+        rule = MessageFaults(drop_p=0.1, start=3, end=7)
+        assert not rule.active(2)
+        assert rule.active(3)
+        assert rule.active(6)
+        assert not rule.active(7)
+
+    def test_open_ended_window(self):
+        rule = MessageFaults(drop_p=0.1, start=3)
+        assert rule.active(10**9)
+
+    def test_trivial(self):
+        assert MessageFaults().is_trivial
+        assert not MessageFaults(drop_p=0.01).is_trivial
+
+
+class TestNodeStall:
+    def test_eligibility(self):
+        rule = NodeStall(stall_p=1.0, nodes=frozenset({1, 2}))
+        assert rule.eligible(1)
+        assert not rule.eligible(3)
+        assert NodeStall(stall_p=1.0).eligible(3)
+
+    def test_node_ids_coerced(self):
+        import numpy as np
+
+        rule = NodeStall(stall_p=1.0, nodes=frozenset({np.int64(4)}))
+        assert rule.eligible(4)
+
+
+class TestRingPartition:
+    def test_endpoint_validation(self):
+        with pytest.raises(ValueError):
+            RingPartition(lo=0.2, hi=1.2)
+        with pytest.raises(ValueError):
+            RingPartition(lo=0.5, hi=0.5)
+
+    def test_inside_plain_arc(self):
+        cut = RingPartition(lo=0.2, hi=0.6)
+        assert cut.inside(0.2)
+        assert cut.inside(0.4)
+        assert not cut.inside(0.6)
+        assert not cut.inside(0.9)
+
+    def test_inside_wrapped_arc(self):
+        cut = RingPartition(lo=0.8, hi=0.1)
+        assert cut.inside(0.9)
+        assert cut.inside(0.05)
+        assert not cut.inside(0.5)
+
+
+class TestFaultPlan:
+    def test_trivial_plan(self):
+        assert FaultPlan.none().is_trivial
+        assert FaultPlan(messages=(MessageFaults(),)).is_trivial
+        assert not FaultPlan(messages=(MessageFaults(drop_p=0.1),)).is_trivial
+        assert not FaultPlan(partitions=(RingPartition(0.0, 0.5),)).is_trivial
+
+    def test_simple_builder(self):
+        plan = FaultPlan.simple(seed=9, drop_p=0.2, stall_p=0.1, start=5)
+        assert len(plan.messages) == 1 and len(plan.stalls) == 1
+        assert plan.messages[0].drop_p == 0.2
+        assert plan.messages[0].start == 5
+        assert plan.stalls[0].stall_p == 0.1
+        assert plan.seed == 9
+
+    def test_simple_builder_omits_trivial_rules(self):
+        plan = FaultPlan.simple(seed=1, drop_p=0.2)
+        assert plan.stalls == ()
+        assert FaultPlan.simple(seed=1).is_trivial
+
+    def test_rules_coerced_to_tuples(self):
+        plan = FaultPlan(messages=[MessageFaults(drop_p=0.1)])
+        assert isinstance(plan.messages, tuple)

@@ -112,7 +112,38 @@ class LeaveOneAdversary(Adversary):
         )
 
 
+class SpamFutureProtocol(EchoProtocol):
+    """Node 0 sends to id 16 in round 0 — before that id has even joined."""
+
+    def on_round(self, ctx):
+        self.received.extend(ctx.inbox)
+        if ctx.round == 0 and ctx.node_id == 0:
+            ctx.send(16, "early")
+
+
 class TestChurnSemantics:
+    def test_leaver_sends_from_previous_round_still_delivered(self):
+        """A node leaving in round t still has its t-1 sends delivered in t."""
+
+        class Pinger(EchoProtocol):
+            def on_round(self, ctx):
+                self.received.extend(ctx.inbox)
+                if ctx.round == 0 and ctx.node_id == 1:
+                    ctx.send(0, "from-the-grave")
+
+        eng = make_engine(Pinger, adversary=LeaveOneAdversary())
+        eng.run(2)  # node 1 leaves in round 1, after sending in round 0
+        assert 1 not in eng.alive
+        assert (1, "from-the-grave") in eng.protocol_of(0).received
+
+    def test_joiner_receives_nothing_in_join_round(self):
+        """A node joining in round t receives nothing that round — even a
+        message somehow addressed to its id before it existed."""
+        eng = make_engine(SpamFutureProtocol, adversary=LeaveOneAdversary())
+        eng.run(3)  # "early" would be due in round 1, exactly the join round
+        assert 16 in eng.alive
+        assert eng.protocol_of(16).received == []
+
     def test_leaver_does_not_receive(self):
         eng = make_engine(EchoProtocol, adversary=LeaveOneAdversary())
         # Round 0: node 0 sends ping to 1. Round 1: node 1 leaves before receipt.
@@ -166,6 +197,19 @@ class TestBudgetIntegration:
         reports = eng.run(2)
         assert all(r.rejected is not None for r in reports)
         assert len(eng.alive) == 16  # nothing actually churned
+
+    def test_lateness_attributes_declared_on_base(self):
+        """The base class declares the (2, 10)-late defaults; no getattr."""
+
+        class Noop(Adversary):
+            def decide(self, view):
+                return ChurnDecision.none()
+
+        adv = Noop()
+        assert adv.topology_lateness == 2
+        assert adv.state_lateness >= 10**6  # effectively "never sees state"
+        assert "topology_lateness" in Adversary.__dict__
+        assert "state_lateness" in Adversary.__dict__
 
     def test_adversary_inactive_before_active_from(self):
         adv = LeaveOneAdversary()

@@ -2,7 +2,20 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.sim.network import Network
+
+
+class StubHook:
+    """Scripted fault hook: maps (src, dst) to a fates tuple, default clean."""
+
+    def __init__(self, fates=None, active=True):
+        self.fates = fates or {}
+        self.message_faults_active = active
+
+    def message_fates(self, t, src, dst):
+        return self.fates.get((src, dst), (1,))
 
 
 class TestSendDeliver:
@@ -80,6 +93,101 @@ class TestMulticast:
         net.close_send_phase()
         inboxes, _ = net.deliver({3})
         assert inboxes == {3: [(1, "m")]}
+
+
+class TestIdCoercion:
+    def test_send_many_coerces_numpy_ids(self):
+        """NumPy ids must not leak into trace edges (type-consistent with send)."""
+        net = Network()
+        net.send_many(1, np.array([2, 3], dtype=np.int64), "m")
+        net.send(1, np.int64(4), "m")
+        edges, _ = net.close_send_phase()
+        assert sorted(edges) == [(1, 2), (1, 3), (1, 4)]
+        assert all(type(dst) is int for _, dst in edges)
+        inboxes, _ = net.deliver({2, 3, 4})
+        assert all(type(dst) is int for dst in inboxes)
+
+
+class TestFaultHook:
+    def test_dropped_message_keeps_its_edge(self):
+        net = Network()
+        net.fault_hook = StubHook({(1, 2): ()})
+        net.send(1, 2, "x")
+        edges, _ = net.close_send_phase()
+        assert edges == [(1, 2)]  # the adversary still observes the attempt
+        inboxes, _ = net.deliver({1, 2})
+        assert inboxes == {}
+        assert not net.has_pending
+
+    def test_delayed_message_arrives_later(self):
+        net = Network()
+        net.fault_hook = StubHook({(1, 2): (3,)})
+        net.send(1, 2, "slow")
+        net.close_send_phase()
+        for _ in range(2):
+            inboxes, _ = net.deliver({1, 2})
+            assert inboxes == {}
+            assert net.has_pending
+        inboxes, _ = net.deliver({1, 2})
+        assert inboxes == {2: [(1, "slow")]}
+        assert not net.has_pending
+
+    def test_delayed_message_respects_churn_at_delivery(self):
+        net = Network()
+        net.fault_hook = StubHook({(1, 2): (2,)})
+        net.send(1, 2, "slow")
+        net.close_send_phase()
+        net.deliver({1, 2})
+        inboxes, _ = net.deliver({1})  # 2 left while the message was in flight
+        assert inboxes == {}
+
+    def test_duplicate_delivers_two_copies(self):
+        net = Network()
+        net.fault_hook = StubHook({(1, 2): (1, 1)})
+        net.send(1, 2, "x")
+        net.close_send_phase()
+        inboxes, received = net.deliver({2})
+        assert inboxes == {2: [(1, "x"), (1, "x")]}
+        assert received == {2: 2}
+
+    def test_multicast_split_by_latency_shares_payload(self):
+        net = Network()
+        net.fault_hook = StubHook({(1, 3): (2,), (1, 4): ()})
+        payload = {"k": 1}
+        net.send_many(1, [2, 3, 4], payload)
+        edges, _ = net.close_send_phase()
+        assert sorted(edges) == [(1, 2), (1, 3), (1, 4)]
+        first, _ = net.deliver({2, 3, 4})
+        assert first == {2: [(1, payload)]}
+        second, _ = net.deliver({2, 3, 4})
+        assert second == {3: [(1, payload)]}
+        assert second[3][0][1] is first[2][0][1]
+        assert not net.has_pending
+
+    def test_has_pending_drains_only_after_all_buckets(self):
+        """Both queues (singles and multicasts), all latency buckets."""
+        net = Network()
+        net.fault_hook = StubHook({(1, 2): (3,), (5, 6): (2,)})
+        net.send(1, 2, "late-single")
+        net.send_many(5, [6, 7], "multi")
+        net.close_send_phase()
+        alive = {1, 2, 5, 6, 7}
+        assert net.has_pending
+        net.deliver(alive)  # round 1: only (5, 7) due
+        assert net.has_pending
+        net.deliver(alive)  # round 2: (5, 6) due
+        assert net.has_pending
+        inboxes, _ = net.deliver(alive)  # round 3: (1, 2) due
+        assert inboxes == {2: [(1, "late-single")]}
+        assert not net.has_pending
+
+    def test_inactive_hook_uses_fast_path(self):
+        net = Network()
+        net.fault_hook = StubHook({(1, 2): ()}, active=False)
+        net.send(1, 2, "x")
+        net.close_send_phase()
+        inboxes, _ = net.deliver({2})
+        assert inboxes == {2: [(1, "x")]}
 
 
 class TestRoundIsolation:
