@@ -15,7 +15,7 @@ def test_lemma22_connect_bound(run_experiment):
     run_experiment("E-L22")
 
 
-def test_micro_protocol_rounds(benchmark, quick):
+def test_micro_protocol_rounds(benchmark, quick, record_bench):
     """Steady-state cost of one maintenance round (n=48, no churn)."""
     params = ProtocolParams(n=48, c=1.2, r=2, delta=3, tau=8, seed=1)
     sim = MaintenanceSimulation(params)
@@ -26,4 +26,5 @@ def test_micro_protocol_rounds(benchmark, quick):
         return sim.round
 
     benchmark.pedantic(two_rounds, rounds=3 if quick else 10, iterations=1)
+    record_bench(benchmark, "micro_protocol_rounds", n=params.n, rounds=2)
     assert sim.audit_overlay().edge_coverage == 1.0

@@ -1,0 +1,30 @@
+"""Bench E-SW — the parallel sweep runner.
+
+Times the default grid through the process pool and pins the worker-count
+invariance guarantee: the merged table from a multi-worker run must be
+bit-for-bit identical to the single-process run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweep import DEFAULT_GRID, run_sweep
+
+
+def test_sweep_experiment(run_experiment):
+    run_experiment("E-SW")
+
+
+def test_parallel_sweep_matches_serial(benchmark, quick, record_bench):
+    """Pool fan-out returns the exact serial table (and gets timed)."""
+    seeds = (0, 1)
+    serial = run_sweep(DEFAULT_GRID, seeds, workers=1, quick=quick)
+
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(DEFAULT_GRID, seeds, workers=2, quick=quick),
+        rounds=1,
+        iterations=1,
+    )
+    record_bench(benchmark, "sweep_parallel", rounds=len(DEFAULT_GRID) * len(seeds))
+    assert parallel.rows == serial.rows
+    assert parallel.to_table() == serial.to_table()
+    assert parallel.passed

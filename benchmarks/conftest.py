@@ -6,6 +6,13 @@ microseconds-level kernels), asserts the experiment's PASS verdict, and
 writes the rendered table to ``benchmarks/results/<id>.txt`` so the numbers
 behind EXPERIMENTS.md can be re-diffed at any time.
 
+Every benchmark additionally appends a tracked performance record to
+``benchmarks/results/BENCH_<id>.json`` (see :mod:`repro.util.benchrec`):
+workload size ``n``, simulated ``rounds`` per iteration, mean wall-time per
+round and the process peak RSS.  Experiment benchmarks record automatically
+through :func:`run_experiment`; hand-rolled benchmarks call the
+``record_bench`` fixture after the timed section.
+
 Run everything with:  pytest benchmarks/ --benchmark-only
 Full (slow) sizes:    pytest benchmarks/ --benchmark-only --full
 """
@@ -15,6 +22,8 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+from repro.util.benchrec import append_entry, make_entry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -34,11 +43,38 @@ def quick(request) -> bool:
 
 
 @pytest.fixture
-def run_experiment(benchmark, quick):
+def record_bench(quick):
+    """Append one ``BENCH_<id>.json`` entry under ``benchmarks/results/``.
+
+    ``record_bench(benchmark, "my_bench", n=48, rounds=2)`` reads the mean
+    iteration time off the pytest-benchmark fixture (call it *after* the
+    timed section) and files ``seconds_per_round = mean / rounds``.  ``n``
+    is the workload's network size (0 where no single size applies) and
+    ``rounds`` the simulated rounds per timed iteration.
+    """
+
+    def _record(benchmark, bench_id: str, *, n: int = 0, rounds: int = 1):
+        meta = getattr(benchmark, "stats", None)
+        if meta is None:  # --benchmark-disable: nothing was timed
+            return None
+        entry = make_entry(
+            n=n,
+            rounds=rounds,
+            seconds_per_round=meta.stats.mean / max(1, rounds),
+            label="quick" if quick else "full",
+        )
+        return append_entry(RESULTS_DIR, bench_id, entry)
+
+    return _record
+
+
+@pytest.fixture
+def run_experiment(benchmark, quick, record_bench):
     """Run a registered experiment under the benchmark timer.
 
     Returns the ExperimentResult; fails the test if the experiment's own
-    verdict is FAIL.  The rendered table is persisted under results/.
+    verdict is FAIL.  The rendered table is persisted under results/ and a
+    BENCH record is appended for the experiment id.
     """
 
     def _run(experiment_id: str, **kwargs):
@@ -51,6 +87,7 @@ def run_experiment(benchmark, quick):
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(result.to_table() + "\n")
+        record_bench(benchmark, experiment_id)
         assert result.passed, f"{experiment_id} failed:\n{result.to_table()}"
         return result
 

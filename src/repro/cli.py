@@ -14,6 +14,13 @@ Commands
     Fault-injection sweep (drop x delay x stall) reporting routing success
     and first-degradation round per cell; axes are comma-separated
     probability lists and default to the E-CH experiment's grid.
+``profile [--n N] [--rounds R] [--seed S] [--churn P]``
+    Run the maintenance protocol with a per-phase wall-time profiler
+    attached and print the hot-path table (adversary / receive / compute /
+    close seconds per round).
+``sweep [E-ID ...] [--seeds S,S,...] [--workers W] [--full]``
+    Fan an (experiment x seed) grid over worker processes and print the
+    merged table; the output is bit-for-bit identical for any worker count.
 """
 
 from __future__ import annotations
@@ -108,6 +115,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments
+    from repro.experiments.sweep import DEFAULT_GRID, run_sweep
+
+    registry = all_experiments()
+    ids = tuple(args.ids) if args.ids else DEFAULT_GRID
+    unknown = [eid for eid in ids if eid not in registry]
+    if unknown:
+        print(f"unknown experiments {unknown}; try `python -m repro list`")
+        return 2
+    try:
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    except ValueError:
+        raise SystemExit(f"--seeds expects comma-separated ints, got {args.seeds!r}")
+    if not seeds:
+        raise SystemExit("--seeds must name at least one seed")
+    result = run_sweep(
+        ids, seeds, workers=args.workers, quick=not args.full
+    )
+    print(result.to_table())
+    return 0 if result.passed else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.adversary.oblivious import RandomChurnAdversary
+    from repro.core.runner import MaintenanceSimulation
+    from repro.sim.profile import PhaseProfiler
+
+    params = ProtocolParams(n=args.n, seed=args.seed)
+    adversary = None
+    if args.churn > 0.0:
+        adversary = RandomChurnAdversary(params, seed=args.seed, intensity=args.churn)
+    profiler = PhaseProfiler()
+    sim = MaintenanceSimulation(params, adversary, profiler=profiler)
+    sim.run(args.rounds)
+    mean_ms = profiler.total_time() / max(1, profiler.rounds) * 1e3
+    print(
+        f"n={args.n} rounds={args.rounds} seed={args.seed} "
+        f"churn={args.churn} mean={mean_ms:.2f} ms/round"
+    )
+    print()
+    print(profiler.table())
+    return 0
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.c is not None:
@@ -150,6 +202,28 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--delay", default=None, metavar="P[,P...]")
     p_chaos.add_argument("--stall", default=None, metavar="P[,P...]")
 
+    p_sw = sub.add_parser(
+        "sweep", help="parallel (experiment x seed) sweep, merged table"
+    )
+    p_sw.add_argument("ids", nargs="*", metavar="E-ID")
+    p_sw.add_argument("--seeds", default="0,1", metavar="S[,S...]")
+    p_sw.add_argument("--workers", type=int, default=1)
+    p_sw.add_argument("--full", action="store_true", help="full-size sweeps")
+
+    p_prof = sub.add_parser(
+        "profile", help="per-phase round profiler (hot-path table)"
+    )
+    p_prof.add_argument("--n", type=int, default=48, help="network size")
+    p_prof.add_argument("--rounds", type=int, default=24)
+    p_prof.add_argument("--seed", type=int, default=7)
+    p_prof.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="INTENSITY",
+        help="attach a RandomChurnAdversary with this intensity (0 = none)",
+    )
+
     p_par = sub.add_parser("params", help="show derived parameters for n")
     p_par.add_argument("n", type=int)
     p_par.add_argument("--c", type=float, default=None)
@@ -163,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "params": _cmd_params,
         "chaos": _cmd_chaos,
+        "profile": _cmd_profile,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

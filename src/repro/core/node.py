@@ -48,6 +48,8 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 
+import numpy as np
+
 from repro.config import ProtocolParams
 from repro.core.messages import (
     ConnectMsg,
@@ -57,10 +59,11 @@ from repro.core.messages import (
     TokenGrant,
     TokenMsg,
 )
-from repro.overlay.lds import required_neighbor_arcs
 from repro.overlay.positions import PositionIndex
 from repro.routing.messages import Hop, RoutedMessage, make_routed_message
+from repro.routing.sampling import rank_in_swarm
 from repro.sim.engine import EngineServices, JoinNotice, NodeContext, NodeProtocol
+from repro.util.intervals import wrap
 
 __all__ = ["Phase", "MaintenanceNode"]
 
@@ -86,8 +89,11 @@ class MaintenanceNode(NodeProtocol):
         self.id = node_id
         self.params: ProtocolParams = services.params
         self.hash = services.position_hash
-        # Hot-path caches (property lookups dominate otherwise).
+        # Hot-path caches (property lookups dominate otherwise: the derived
+        # radii recompute ``lam`` on every access).
         self._swarm_radius = services.params.swarm_radius
+        self._list_radius = services.params.list_radius
+        self._db_radius = services.params.debruijn_radius
         self._r = services.params.r
         self._lam = services.params.lam
         self.phase = Phase.NEW
@@ -161,6 +167,52 @@ class MaintenanceNode(NodeProtocol):
         """Member ids of ``S(point)`` in the given index (ndarray view)."""
         return index.ids_within(point, self._swarm_radius)
 
+    @staticmethod
+    def _window_bounds(
+        index: PositionIndex, points: list[float], radius: float
+    ) -> tuple[list[int] | None, list[int] | None, list[bool] | None, list[int], int]:
+        """Batched window bounds without materializing the member lists.
+
+        Returns ``(a, b, wrapped, ids_list, n)``; window ``i`` covers
+        ``ids_list[a[i]:b[i]]`` (or ``ids_list[a[i]:] + ids_list[:b[i]]``
+        when wrapped).  ``a is None`` signals the full-ring case (radius
+        >= 0.5): every window is all of ``ids_list``.  Random-pick loops
+        index straight into ``ids_list`` with these bounds, skipping the
+        per-window list allocation of :meth:`_windows`.
+        """
+        ids_list = index.ids_list
+        n = len(ids_list)
+        if radius >= 0.5:
+            return None, None, None, ids_list, n
+        a, b, wrapped = index.bounds_many(
+            np.fromiter(points, dtype=np.float64, count=len(points)), radius
+        )
+        return a.tolist(), b.tolist(), wrapped.tolist(), ids_list, n
+
+    @staticmethod
+    def _windows(
+        index: PositionIndex, points: list[float], radius: float
+    ) -> list[list[int]]:
+        """Batched ``ids_within`` over many points: one sorted-array sweep.
+
+        Returns one member list per point (byte-identical content and order
+        to the scalar path).  Lists may be shared; callers must not mutate.
+        """
+        ids_list = index.ids_list
+        count = len(points)
+        if radius >= 0.5:
+            return [ids_list] * count
+        a, b, wrapped = index.bounds_many(
+            np.fromiter(points, dtype=np.float64, count=count), radius
+        )
+        a = a.tolist()
+        b = b.tolist()
+        wrapped = wrapped.tolist()
+        return [
+            ids_list[a[i]:] + ids_list[:b[i]] if wrapped[i] else ids_list[a[i]:b[i]]
+            for i in range(count)
+        ]
+
     # ------------------------------------------------------------------
     # Round dispatch
     # ------------------------------------------------------------------
@@ -168,34 +220,75 @@ class MaintenanceNode(NodeProtocol):
     def on_round(self, ctx: NodeContext) -> None:
         creates: list[CreateBatch] = []
         join_batches: list[JoinBatch] = []
-        hops: list[Hop] = []
         token_msgs: list[TokenMsg] = []
         connects: list[ConnectMsg] = []
         grants: list[TokenGrant] = []
         notices: list[JoinNotice] = []
+        # Exact-type dispatch: one dict probe per message instead of an
+        # isinstance chain (all message classes are final).  Hops — the bulk
+        # of every inbox — dedup right here by (message identity, step):
+        # each logical request is one shared RoutedMessage instance (msg_ids
+        # are constructed exactly once, with per-origin counters), so object
+        # identity equals the documented msg_id dedup without hashing the
+        # nested msg_id tuple per copy.  Even rounds classify surviving hops
+        # straight into forwarding actions; odd rounds keep the deduped hop
+        # list plus the handover lookup points — either way the inbox is
+        # walked exactly once.
+        buckets: dict[type, list] = {
+            CreateBatch: creates,
+            JoinBatch: join_batches,
+            TokenMsg: token_msgs,
+            ConnectMsg: connects,
+            TokenGrant: grants,
+            JoinNotice: notices,
+        }
+        even = ctx.round % 2 == 0
+        seen_hops: set[tuple[int, int]] = set()
+        # Each action is (is_final, msg, next_k); finals become the full
+        # target-swarm delivery multicast, the rest mid-route forwards.
+        actions: list[tuple[bool, RoutedMessage, int]] = []
+        points: list[float] = []
+        join_recs: list[JoinRecord] = []
+        hops: list[Hop] = []
+        handover_points: list[float] = []
         for _, msg in ctx.inbox:
-            if isinstance(msg, Hop):
-                hops.append(msg)
-            elif isinstance(msg, CreateBatch):
-                creates.append(msg)
-            elif isinstance(msg, JoinBatch):
-                join_batches.append(msg)
-            elif isinstance(msg, TokenMsg):
-                token_msgs.append(msg)
-            elif isinstance(msg, ConnectMsg):
-                connects.append(msg)
-            elif isinstance(msg, TokenGrant):
-                grants.append(msg)
-            elif isinstance(msg, JoinNotice):
-                notices.append(msg)
+            if msg.__class__ is Hop:
+                m = msg.msg
+                k = msg.step
+                key = (id(m), k)
+                if key in seen_hops:
+                    continue
+                seen_hops.add(key)
+                if even:
+                    if k >= m.final_step:
+                        continue  # defensive: deliveries happen at odd rounds
+                    next_k = k + 1
+                    payload = m.payload
+                    if next_k == m.final_step:
+                        if isinstance(payload, tuple) and payload[0] == "join":
+                            join_recs.append(payload[1])
+                        else:
+                            actions.append((True, m, next_k))
+                            points.append(m.target)
+                    else:
+                        actions.append((False, m, next_k))
+                        points.append(m.trajectory[next_k])
+                else:
+                    hops.append(msg)
+                    if k < m.final_step:
+                        handover_points.append(m.trajectory[k])
+                continue
+            bucket = buckets.get(msg.__class__)
+            if bucket is not None:
+                bucket.append(msg)
 
         self._absorb_tokens(ctx, token_msgs, grants)
         self._fill_slots(ctx, connects)
 
-        if ctx.round % 2 == 0:
-            self._even_round(ctx, creates, hops)
+        if even:
+            self._even_round(ctx, creates, actions, points, join_recs)
         else:
-            self._odd_round(ctx, join_batches, hops)
+            self._odd_round(ctx, join_batches, hops, handover_points)
 
         # Bootstrap duties are parity-independent: the notice arrives in the
         # join round and must be answered as soon as tokens allow (the
@@ -299,12 +392,17 @@ class MaintenanceNode(NodeProtocol):
     # ------------------------------------------------------------------
 
     def _even_round(
-        self, ctx: NodeContext, creates: list[CreateBatch], hops: list[Hop]
+        self,
+        ctx: NodeContext,
+        creates: list[CreateBatch],
+        actions: list[tuple[bool, RoutedMessage, int]],
+        points: list[float],
+        join_recs: list[JoinRecord],
     ) -> None:
         e = ctx.round // 2
         self._cutover(ctx, e, creates)
         if self.phase is Phase.ESTABLISHED:
-            self._forward_hops(ctx, hops)
+            self._forward_hops(ctx, actions, points, join_recs)
             self._launch_joins(ctx, e)
             self._emit_tokens(ctx)
             self._launch_queued_probes(ctx)
@@ -345,53 +443,86 @@ class MaintenanceNode(NodeProtocol):
             self._d_index = None
             self.demotions += 1
 
-    def _forward_hops(self, ctx: NodeContext, hops: list[Hop]) -> None:
-        """Even-round forwarding: advance each held hop one trajectory step."""
-        params = self.params
+    def _forward_hops(
+        self,
+        ctx: NodeContext,
+        actions: list[tuple[bool, RoutedMessage, int]],
+        points: list[float],
+        join_recs: list[JoinRecord],
+    ) -> None:
+        """Even-round forwarding: advance each held hop one trajectory step.
+
+        :meth:`on_round` already deduplicated and classified the held hops
+        into ``actions`` (mid-route forwards and full-delivery finals, with
+        their swarm lookup ``points``) and ``join_recs`` (arrived JOINs to
+        rebroadcast).  The swarm lookups batch into one vectorised sweep
+        while every send — and therefore the edge set, inbox order, and rng
+        draw sequence — happens in exactly the order the one-pass loop
+        produced.
+        """
         index = self._d_members()
-        seen: set[tuple[object, int]] = set()
-        rebroadcast: dict[int, list[JoinRecord]] = defaultdict(list)
-        for hop in hops:
-            key = (hop.msg.msg_id, hop.step)
-            if key in seen:
-                continue
-            seen.add(key)
-            msg = hop.msg
-            k = hop.step
-            if k >= msg.final_step:
-                continue  # defensive: deliveries happen at odd rounds
-            next_k = k + 1
-            payload = msg.payload
-            is_join = isinstance(payload, tuple) and payload[0] == "join"
-            if next_k == msg.final_step:
-                if is_join:
-                    # Rebroadcast the record to the current holders of the
-                    # three Definition-5 arcs (Listing 3 line 10).
-                    rec: JoinRecord = payload[1]
-                    for arc in required_neighbor_arcs(rec.pos, params):
-                        for w in index.ids_in_arc(arc):
-                            w = int(w)
-                            if w != self.id:
-                                rebroadcast[w].append(rec)
+        # Sends, in original hop order (one batched multicast call).
+        # Mid-route picks index straight into the shared id list via the
+        # batched bounds; only finals materialize their member window.
+        if actions:
+            a, b, wr, ids_list, n = self._window_bounds(
+                index, points, self._swarm_radius
+            )
+            my_id = self.id
+            r = self._r
+            rnd = ctx.rng.random
+            batch: list[tuple[tuple[int, ...], object]] = []
+            for i, (is_final, msg, next_k) in enumerate(actions):
+                if a is None:
+                    ai = 0
+                    size = n
                 else:
-                    # Full delivery: the entire target swarm gets the hop.
-                    members = self._swarm_from(index, msg.target)
+                    ai = a[i]
+                    bi = b[i]
+                    size = n - ai + bi if wr[i] else bi - ai
+                if is_final:
+                    if a is None:
+                        members = ids_list
+                    elif wr[i]:
+                        members = ids_list[ai:] + ids_list[:bi]
+                    else:
+                        members = ids_list[ai:bi]
                     out = Hop(msg, next_k)
-                    ctx.send_many(members[members != self.id], out)
+                    batch.append((tuple(w for w in members if w != my_id), out))
                     # A holder inside the target swarm delivers to itself too.
                     if self._in_swarm(msg.target):
                         self._deliver(ctx, out)
-            else:
-                members = self._swarm_from(index, msg.trajectory[next_k])
-                size = members.size
-                if size:
-                    rnd = ctx.rng.random
-                    picks = [members[int(rnd() * size)] for _ in range(self._r)]
-                    ctx.send_many(picks, Hop(msg, next_k))
-        for w, recs in rebroadcast.items():
-            # Deduplicate records per receiver, keep deterministic order.
-            uniq = tuple(dict.fromkeys(recs))
-            ctx.send(w, JoinBatch(uniq))
+                elif size:
+                    picks = []
+                    for _ in range(r):
+                        j = ai + int(rnd() * size)
+                        picks.append(ids_list[j - n] if j >= n else ids_list[j])
+                    batch.append((tuple(picks), Hop(msg, next_k)))
+            ctx.send_many_batch(batch)
+        # Rebroadcast each arrived join record to the current holders of the
+        # three Definition-5 arcs (Listing 3 line 10); arc lookups batch per
+        # radius (list arc at rec.pos, two De Bruijn arcs at rec.pos/2 and
+        # (rec.pos+1)/2 — the order required_neighbor_arcs produced).
+        if join_recs:
+            rebroadcast: dict[int, list[JoinRecord]] = defaultdict(list)
+            list_wins = self._windows(
+                index, [rec.pos for rec in join_recs], self._list_radius
+            )
+            db_points: list[float] = []
+            for rec in join_recs:
+                db_points.append(wrap(rec.pos / 2.0))
+                db_points.append(wrap((rec.pos + 1.0) / 2.0))
+            db_wins = self._windows(index, db_points, self._db_radius)
+            my_id = self.id
+            for i, rec in enumerate(join_recs):
+                for members in (list_wins[i], db_wins[2 * i], db_wins[2 * i + 1]):
+                    for w in members:
+                        if w != my_id:
+                            rebroadcast[w].append(rec)
+            for w, recs in rebroadcast.items():
+                # Deduplicate records per receiver, keep deterministic order.
+                uniq = tuple(dict.fromkeys(recs))
+                ctx.send(w, JoinBatch(uniq))
 
     def _in_swarm(self, point: float) -> bool:
         if self.pos is None:
@@ -463,7 +594,11 @@ class MaintenanceNode(NodeProtocol):
     # ------------------------------------------------------------------
 
     def _odd_round(
-        self, ctx: NodeContext, join_batches: list[JoinBatch], hops: list[Hop]
+        self,
+        ctx: NodeContext,
+        join_batches: list[JoinBatch],
+        hops: list[Hop],
+        handover_points: list[float],
     ) -> None:
         e_next = ctx.round // 2 + 1
         # 1. Store handover records for the next overlay.
@@ -480,55 +615,79 @@ class MaintenanceNode(NodeProtocol):
             else None
         )
 
-        # 2. Handover in-flight hops + deliver finals.
-        params = self.params
-        seen: set[tuple[object, int]] = set()
-        for hop in hops:
-            key = (hop.msg.msg_id, hop.step)
-            if key in seen:
-                continue
-            seen.add(key)
-            if hop.step >= hop.msg.final_step:
-                self._deliver(ctx, hop)
-                continue
-            self._handover_one(ctx, hop, h_index)
+        # 2. Handover in-flight hops + deliver finals.  ``hops`` arrives
+        # deduplicated with its handover lookup points pre-collected by
+        # :meth:`on_round`; batch the lookups, then execute in original hop
+        # order (final deliveries may send and draw rng, so their
+        # interleaving with handovers must not change).
+        hop_index = h_index if h_index is not None else self._d_members()
+        if hops:
+            a, b, wr, ids_list, n = self._window_bounds(
+                hop_index, handover_points, self._swarm_radius
+            )
+            r = self._r
+            rnd = ctx.rng.random
+            batch: list[tuple[tuple[int, ...], object]] = []
+            wi = 0
+            for hop in hops:
+                if hop.step >= hop.msg.final_step:
+                    self._deliver(ctx, hop)
+                    continue
+                if a is None:
+                    ai = 0
+                    size = n
+                else:
+                    ai = a[wi]
+                    size = n - ai + b[wi] if wr[wi] else b[wi] - ai
+                wi += 1
+                if size:
+                    picks = []
+                    for _ in range(r):
+                        j = ai + int(rnd() * size)
+                        picks.append(ids_list[j - n] if j >= n else ids_list[j])
+                    batch.append((tuple(picks), hop))
+            ctx.send_many_batch(batch)
 
         # 3. Initial multicasts of this cycle's launches.
-        for msg in self._pending_launch:
-            index = h_index if h_index is not None else self._d_members()
-            members = self._swarm_from(index, msg.trajectory[0])
-            out = Hop(msg, 0)
-            ctx.send_many(members[members != self.id], out)
-        self._pending_launch.clear()
+        launches = self._pending_launch
+        if launches:
+            my_id = self.id
+            lwins = self._windows(
+                hop_index, [m.trajectory[0] for m in launches], self._swarm_radius
+            )
+            ctx.send_many_batch(
+                [
+                    (tuple(w for w in lwins[i] if w != my_id), Hop(msg, 0))
+                    for i, msg in enumerate(launches)
+                ]
+            )
+            launches.clear()
 
         # 4. Matchmaking: introduce next-overlay neighbours to each other.
         if h_index is not None:
             self._matchmake(ctx, h_index)
 
-    def _handover_one(
-        self, ctx: NodeContext, hop: Hop, h_index: PositionIndex | None
-    ) -> None:
-        """Forward a hop to r nodes of the next overlay's same-point swarm."""
-        point = hop.msg.trajectory[hop.step]
-        index = h_index if h_index is not None else self._d_members()
-        members = self._swarm_from(index, point)
-        size = members.size
-        if not size:
-            return
-        rnd = ctx.rng.random
-        picks = [members[int(rnd() * size)] for _ in range(self._r)]
-        ctx.send_many(picks, hop)
-
     def _matchmake(self, ctx: NodeContext, h_index: PositionIndex) -> None:
-        """Send each next-overlay node its Definition-5 neighbours (CREATE)."""
-        for v, rec in self.h_records.items():
-            neighbor_ids: list[int] = []
-            for arc in required_neighbor_arcs(rec.pos, self.params):
-                neighbor_ids.extend(int(w) for w in h_index.ids_in_arc(arc))
+        """Send each next-overlay node its Definition-5 neighbours (CREATE).
+
+        The three ``required_neighbor_arcs`` lookups per record batch into
+        one :meth:`_windows` sweep per radius; records deduplicate on node
+        ids (id -> record is injective) to spare dataclass hashing.
+        """
+        items = list(self.h_records.items())
+        list_wins = self._windows(
+            h_index, [rec.pos for _, rec in items], self._list_radius
+        )
+        db_points: list[float] = []
+        for _, rec in items:
+            db_points.append(wrap(rec.pos / 2.0))
+            db_points.append(wrap((rec.pos + 1.0) / 2.0))
+        db_wins = self._windows(h_index, db_points, self._db_radius)
+        h_records = self.h_records
+        for i, (v, rec) in enumerate(items):
+            neighbor_ids = list_wins[i] + db_wins[2 * i] + db_wins[2 * i + 1]
             records = tuple(
-                dict.fromkeys(
-                    self.h_records[w] for w in neighbor_ids if w != v
-                )
+                h_records[w] for w in dict.fromkeys(neighbor_ids) if w != v
             )
             # An empty batch still signals the cutover to v.
             ctx.send(v, CreateBatch(records))
@@ -568,6 +727,6 @@ class MaintenanceNode(NodeProtocol):
         self.delivered.append((payload, ctx.round))
 
     def _my_rank(self, point: float) -> int | None:
-        from repro.routing.sampling import rank_in_swarm
-
-        return rank_in_swarm(self._d_members(), point, self.id, self.params)
+        return rank_in_swarm(
+            self._d_members(), point, self.id, self.params, radius=self._swarm_radius
+        )

@@ -27,6 +27,7 @@ from repro.core.node import MaintenanceNode, Phase
 from repro.overlay.lds import LDSGraph
 from repro.overlay.positions import PositionIndex
 from repro.sim.engine import Engine, EngineServices
+from repro.sim.profile import PhaseProfiler
 
 __all__ = ["OverlayAudit", "ProbeReport", "MaintenanceSimulation"]
 
@@ -79,9 +80,11 @@ class MaintenanceSimulation:
         node_cls: type[MaintenanceNode] = MaintenanceNode,
         faults: FaultPlan | None = None,
         health: HealthMonitor | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.params = params
         self.health = health
+        self.profiler = profiler
         self.engine = Engine(
             params,
             lambda v, services: node_cls(v, services),
@@ -90,6 +93,7 @@ class MaintenanceSimulation:
             trace_depth=trace_depth,
             faults=faults,
             health=health,
+            profiler=profiler,
         )
         self.engine.seed_nodes(range(params.n))
         if distributed_bootstrap:

@@ -35,6 +35,7 @@ DEFAULT_ORDER = (
     "E-X4",
     "E-X5",
     "E-X6",
+    "E-SW",
 )
 
 

@@ -45,7 +45,10 @@ class LDSGraph:
 
     Edges are directed "knows the id of" relations per the paper's model;
     list edges are symmetric by construction, De Bruijn edges are not.
-    Neighbour sets are computed lazily and cached.
+    Neighbour sets are computed lazily and cached; :meth:`prime` fills every
+    node's cache in one vectorised sorted-array sweep (two batched
+    ``searchsorted`` calls per radius instead of two per node) — audits and
+    whole-graph statistics use it so no per-node binary searches remain.
     """
 
     def __init__(self, index: PositionIndex, params: ProtocolParams) -> None:
@@ -54,6 +57,7 @@ class LDSGraph:
         self._neighbors: dict[int, np.ndarray] = {}
         self._list_neighbors: dict[int, np.ndarray] = {}
         self._db_neighbors: dict[int, np.ndarray] = {}
+        self._primed = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -110,6 +114,53 @@ class LDSGraph:
             self._neighbors[v] = cached
         return cached
 
+    def _window(self, a: int, b: int, wrapped: bool) -> np.ndarray:
+        ids = self.index.ids
+        if not wrapped:
+            return ids[a:b]
+        return np.concatenate([ids[a:], ids[:b]])
+
+    def prime(self) -> None:
+        """Bulk warm-up: fill all three neighbour caches in one sweep."""
+        if self._primed:
+            return
+        self._primed = True
+        index = self.index
+        ids = index.ids
+        pos = index.sorted_positions
+        n = ids.size
+        if n == 0:
+            return
+        params = self.params
+        rho_l = params.list_radius
+        rho_db = params.debruijn_radius
+        full = ids  # position order, as ids_within returns for radius >= 0.5
+        if rho_l < 0.5:
+            la, lb, lw = index.bounds_many(pos, rho_l)
+        if rho_db < 0.5:
+            # wrap() is the identity here: p/2 lies in [0, 0.5) and
+            # (p+1)/2 in [0.5, 1) for p in [0, 1).
+            d0a, d0b, d0w = index.bounds_many(pos / 2.0, rho_db)
+            d1a, d1b, d1w = index.bounds_many((pos + 1.0) / 2.0, rho_db)
+        list_cache = self._list_neighbors
+        db_cache = self._db_neighbors
+        nbr_cache = self._neighbors
+        for i in range(n):
+            v = int(ids[i])
+            lst = full if rho_l >= 0.5 else self._window(la[i], lb[i], lw[i])
+            lst = lst[lst != v]
+            if rho_db >= 0.5:
+                merged = np.union1d(full, full)
+            else:
+                merged = np.union1d(
+                    self._window(d0a[i], d0b[i], d0w[i]),
+                    self._window(d1a[i], d1b[i], d1w[i]),
+                )
+            db = merged[merged != v]
+            list_cache[v] = lst
+            db_cache[v] = db
+            nbr_cache[v] = np.union1d(lst, db)
+
     def swarm(self, p: float) -> np.ndarray:
         """Ids of ``S(p)`` in this snapshot."""
         return swarm_members(self.index, p, self.params)
@@ -118,15 +169,21 @@ class LDSGraph:
         return int(self.neighbors(v).size)
 
     def degree_stats(self) -> tuple[int, float, int]:
-        """(min, mean, max) out-degree over all nodes."""
-        degs = [self.degree(int(v)) for v in self.node_ids]
-        if not degs:
+        """(min, mean, max) out-degree over all nodes (primes the caches)."""
+        if len(self.index) == 0:
             return (0, 0.0, 0)
-        return (min(degs), float(np.mean(degs)), max(degs))
+        self.prime()
+        degs = np.fromiter(
+            (nbrs.size for nbrs in self._neighbors.values()),
+            dtype=np.int64,
+            count=len(self._neighbors),
+        )
+        return (int(degs.min()), float(np.mean(degs)), int(degs.max()))
 
     def edge_count(self) -> int:
-        """Number of directed edges."""
-        return int(sum(self.degree(int(v)) for v in self.node_ids))
+        """Number of directed edges (primes the caches)."""
+        self.prime()
+        return int(sum(nbrs.size for nbrs in self._neighbors.values()))
 
     # ------------------------------------------------------------------
     # Audits
@@ -136,17 +193,21 @@ class LDSGraph:
         """Empirically verify Lemma 6 at the given points.
 
         For each point ``p``: every node of ``S(p)`` must have an edge to
-        every node of ``S(p/2)`` and of ``S((p+1)/2)``.
+        every node of ``S(p/2)`` and of ``S((p+1)/2)`` (itself counting as
+        trivially reached).  Membership tests run as one ``np.isin`` per
+        node instead of rebuilding Python sets.
         """
+        self.prime()
         for p in points:
             members = self.swarm(p)
             for branch in (0, 1):
                 target = self.swarm(wrap((p + branch) / 2.0))
-                target_set = set(int(t) for t in target)
+                if target.size == 0:
+                    continue
                 for v in members:
-                    nbrs = set(int(w) for w in self.neighbors(int(v)))
-                    nbrs.add(int(v))  # a node trivially "reaches" itself
-                    if not target_set <= nbrs:
+                    v = int(v)
+                    covered = np.isin(target, self.neighbors(v)) | (target == v)
+                    if not covered.all():
                         return False
         return True
 
@@ -159,14 +220,22 @@ class LDSGraph:
         everywhere means the claimed overlay covers the LDS).  Used to audit
         overlays built by the maintenance algorithm against ground truth.
         """
+        self.prime()
         missing: dict[int, set[int]] = {}
         for v in self.node_ids:
             v = int(v)
-            required = set(int(w) for w in self.neighbors(v))
-            have = set(int(w) for w in claimed.get(v, ()))
-            gap = required - have
-            if gap:
-                missing[v] = gap
+            required = self.neighbors(v)
+            have = claimed.get(v, ())
+            if isinstance(have, np.ndarray):
+                have_arr = have.astype(np.int64, copy=False)
+            else:
+                have_arr = np.fromiter((int(w) for w in have), dtype=np.int64)
+            if have_arr.size:
+                gap = required[~np.isin(required, have_arr)]
+            else:
+                gap = required
+            if gap.size:
+                missing[v] = set(gap.tolist())
         return missing
 
 

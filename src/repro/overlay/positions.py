@@ -4,6 +4,11 @@ The hot loop of every topology operation is "which nodes lie within distance
 ``rho`` of point ``p`` on the ring?".  :class:`PositionIndex` answers this in
 ``O(log n + output)`` via a sorted NumPy array and ``searchsorted`` — the
 vectorised idiom recommended by the HPC guides (no Python-level scans).
+
+All range queries funnel through one bounds helper (:meth:`_bounds`) so the
+endpoint and float-wrap semantics cannot drift apart between ``ids_within``,
+``count_within`` and the arc variants: a tiny negative ``center - radius``
+wraps to exactly ``1.0`` under ``%``, which the helper clamps back to ``0.0``.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ class PositionIndex:
         Mapping from node id to position in ``[0, 1)``.
     """
 
+    __slots__ = ("_ids", "_pos", "_by_id", "_ids_list")
+
     def __init__(self, positions: Mapping[int, float]) -> None:
         ids = np.fromiter(positions.keys(), dtype=np.int64, count=len(positions))
         pos = np.fromiter(positions.values(), dtype=np.float64, count=len(positions))
@@ -34,7 +41,18 @@ class PositionIndex:
         order = np.argsort(pos, kind="stable")
         self._ids = ids[order]
         self._pos = pos[order]
-        self._by_id = {int(i): float(p) for i, p in zip(self._ids, self._pos)}
+        self._by_id = dict(zip(self._ids.tolist(), self._pos.tolist()))
+        self._ids_list: list[int] | None = None
+
+    @classmethod
+    def _from_sorted(cls, ids: np.ndarray, pos: np.ndarray) -> "PositionIndex":
+        """Internal: build from already position-sorted, validated arrays."""
+        obj = cls.__new__(cls)
+        obj._ids = ids
+        obj._pos = pos
+        obj._by_id = dict(zip(ids.tolist(), pos.tolist()))
+        obj._ids_list = None
+        return obj
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -56,6 +74,20 @@ class PositionIndex:
         """Positions in ascending order (do not mutate)."""
         return self._pos
 
+    @property
+    def ids_list(self) -> list[int]:
+        """Node ids sorted by position, as a cached plain-``int`` list.
+
+        Batched hot paths slice this list directly (list slices beat ndarray
+        slice + ``tolist`` for the tiny windows a swarm lookup returns).
+        Do not mutate.
+        """
+        cached = self._ids_list
+        if cached is None:
+            cached = self._ids.tolist()
+            self._ids_list = cached
+        return cached
+
     def position(self, node_id: int) -> float:
         """Position of one node; raises ``KeyError`` for unknown ids."""
         return self._by_id[node_id]
@@ -68,37 +100,45 @@ class PositionIndex:
     # Range queries
     # ------------------------------------------------------------------
 
-    def _segment_slices(self, lo: float, hi: float) -> list[slice]:
-        """Index slices of the sorted array covering the arc [lo, hi] (wrapped)."""
-        if hi - lo >= 1.0:
-            return [slice(0, self._pos.size)]
-        lo_w = lo % 1.0
-        hi_w = hi % 1.0
-        if lo_w <= hi_w:
-            a = int(np.searchsorted(self._pos, lo_w, side="left"))
-            b = int(np.searchsorted(self._pos, hi_w, side="right"))
-            return [slice(a, b)]
-        # Wrapped arc: [lo_w, 1) union [0, hi_w].
-        a = int(np.searchsorted(self._pos, lo_w, side="left"))
-        b = int(np.searchsorted(self._pos, hi_w, side="right"))
-        return [slice(a, self._pos.size), slice(0, b)]
+    def _bounds(self, center: float, radius: float) -> tuple[int, int, bool]:
+        """Searchsorted bounds ``(a, b, wrapped)`` of the arc around ``center``.
 
-    def indices_in_arc(self, arc: Arc) -> np.ndarray:
-        """Sorted-array indices of all nodes inside the arc (endpoint-inclusive)."""
-        slices = self._segment_slices(arc.center - arc.radius, arc.center + arc.radius)
-        if len(slices) == 1:
-            return np.arange(slices[0].start, slices[0].stop)
-        return np.concatenate([np.arange(s.start, s.stop) for s in slices])
+        Not wrapped: the arc covers sorted indices ``[a, b)``.  Wrapped: it
+        covers ``[a, n)`` plus ``[0, b)``.  Callers must handle the
+        ``radius >= 0.5`` full-ring case themselves (it has no bounds).
+        """
+        pos = self._pos
+        lo = (center - radius) % 1.0
+        hi = (center + radius) % 1.0
+        if lo >= 1.0:  # float edge: tiny negative wraps to exactly 1.0
+            lo = 0.0
+        a = pos.searchsorted(lo, "left")
+        b = pos.searchsorted(hi, "right")
+        return a, b, lo > hi
 
-    def ids_in_arc(self, arc: Arc) -> np.ndarray:
-        """Ids of all nodes within ``arc.radius`` of ``arc.center``."""
-        return self._ids[self.indices_in_arc(arc)]
+    def bounds_many(
+        self, centers: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`_bounds` over many arc centers at one radius.
+
+        One pair of batched ``searchsorted`` calls replaces two scalar calls
+        per center; ``%`` on float64 arrays is IEEE-identical to Python's
+        scalar ``%``, so slice ``i`` is byte-identical to what
+        ``ids_within(centers[i], radius)`` would return.  Callers handle the
+        ``radius >= 0.5`` full-ring case themselves.
+        """
+        pos = self._pos
+        lo = (centers - radius) % 1.0
+        lo[lo >= 1.0] = 0.0  # same float-wrap guard as the scalar path
+        hi = (centers + radius) % 1.0
+        return pos.searchsorted(lo, "left"), pos.searchsorted(hi, "right"), lo > hi
 
     def ids_within(self, center: float, radius: float) -> np.ndarray:
         """Ids of all nodes ``v`` with ``d(v, center) <= radius``.
 
-        Hot path: equivalent to ``ids_in_arc(Arc(center, radius))`` but
-        avoids Arc construction and fancy indexing (called per routed hop).
+        Hot path (called per routed hop): returned ids are ordered by ring
+        position starting at the arc's counter-clockwise endpoint.  The
+        bounds logic is :meth:`_bounds`, inlined to spare a function call.
         """
         if radius >= 0.5:
             return self._ids
@@ -107,27 +147,59 @@ class PositionIndex:
         hi = (center + radius) % 1.0
         if lo >= 1.0:  # float edge: tiny negative wraps to exactly 1.0
             lo = 0.0
+        ids = self._ids
         if lo <= hi:
-            a = pos.searchsorted(lo, "left")
-            b = pos.searchsorted(hi, "right")
-            return self._ids[a:b]
-        a = pos.searchsorted(lo, "left")
-        b = pos.searchsorted(hi, "right")
-        return np.concatenate([self._ids[a:], self._ids[:b]])
+            return ids[pos.searchsorted(lo, "left"):pos.searchsorted(hi, "right")]
+        return np.concatenate(
+            [ids[pos.searchsorted(lo, "left"):], ids[:pos.searchsorted(hi, "right")]]
+        )
+
+    def ids_within_list(self, center: float, radius: float) -> list[int]:
+        """:meth:`ids_within` as a plain-``int`` list (shared, do not mutate).
+
+        Slices the cached :attr:`ids_list` — for the tiny windows swarm
+        queries return, list slicing plus C-level ``list.index`` beats the
+        ndarray round-trip.  Same content and order as :meth:`ids_within`.
+        """
+        ids = self.ids_list
+        if radius >= 0.5:
+            return ids
+        a, b, wrapped = self._bounds(center, radius)
+        if not wrapped:
+            return ids[a:b]
+        return ids[a:] + ids[:b]
 
     def count_within(self, center: float, radius: float) -> int:
-        """Number of nodes within distance ``radius`` of ``center``."""
-        total = 0
-        for s in self._segment_slices(center - radius, center + radius):
-            total += s.stop - s.start
-        return total
+        """Number of nodes within distance ``radius`` of ``center``.
+
+        Shares :meth:`_bounds` with :meth:`ids_within` (including the
+        ``lo >= 1.0`` float-wrap guard) so count and ids can never disagree
+        at arc boundaries.
+        """
+        if radius >= 0.5:
+            return self._ids.size
+        a, b, wrapped = self._bounds(center, radius)
+        if not wrapped:
+            return int(b - a)
+        return int(self._ids.size - a + b)
+
+    def indices_in_arc(self, arc: Arc) -> np.ndarray:
+        """Sorted-array indices of all nodes inside the arc (endpoint-inclusive)."""
+        if arc.radius >= 0.5:
+            return np.arange(self._pos.size)
+        a, b, wrapped = self._bounds(arc.center, arc.radius)
+        if not wrapped:
+            return np.arange(a, b)
+        return np.concatenate([np.arange(a, self._pos.size), np.arange(0, b)])
+
+    def ids_in_arc(self, arc: Arc) -> np.ndarray:
+        """Ids of all nodes within ``arc.radius`` of ``arc.center``."""
+        return self.ids_within(arc.center, arc.radius)
 
     def sorted_ids_in_arc(self, arc: Arc) -> np.ndarray:
         """Ids inside the arc ordered by ring position starting at the arc's
         counter-clockwise endpoint (used by A_SAMPLING's rank rule)."""
-        slices = self._segment_slices(arc.center - arc.radius, arc.center + arc.radius)
-        parts = [self._ids[s] for s in slices]
-        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return self.ids_within(arc.center, arc.radius)
 
     def closest(self, p: float) -> int:
         """Id of the node closest to ``p`` (ties broken toward lower position)."""
@@ -141,8 +213,16 @@ class PositionIndex:
         return int(self._ids[best])
 
     def restricted(self, keep: Iterable[int]) -> "PositionIndex":
-        """A new index containing only the given node ids (e.g. churn survivors)."""
-        keep_set = set(keep)
-        return PositionIndex(
-            {int(i): float(p) for i, p in zip(self._ids, self._pos) if int(i) in keep_set}
-        )
+        """A new index containing only the given node ids (e.g. churn survivors).
+
+        Filters the sorted arrays directly (``np.isin``) instead of rebuilding
+        an id -> position dict element by element; the relative position order
+        of survivors is preserved, so no re-sort is needed.
+        """
+        if isinstance(keep, np.ndarray):
+            keep_arr = keep.astype(np.int64, copy=False)
+        else:
+            keep_set = keep if isinstance(keep, (set, frozenset)) else set(keep)
+            keep_arr = np.fromiter(keep_set, dtype=np.int64, count=len(keep_set))
+        mask = np.isin(self._ids, keep_arr)
+        return PositionIndex._from_sorted(self._ids[mask], self._pos[mask])

@@ -37,11 +37,12 @@ class RoutedMessage:
     start_round: int
     sample_rank: int | None = None
     payload: object = None
+    #: Index of the last trajectory point (``lam + 1``).  Precomputed in
+    #: ``__post_init__`` (not a property): forwarding reads it per hop.
+    final_step: int = 0
 
-    @property
-    def final_step(self) -> int:
-        """Index of the last trajectory point (``lam + 1``)."""
-        return len(self.trajectory) - 1
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "final_step", len(self.trajectory) - 1)
 
     @property
     def is_sampling(self) -> bool:
@@ -49,12 +50,21 @@ class RoutedMessage:
         return self.sample_rank is not None
 
 
-@dataclass(frozen=True)
 class Hop:
-    """One in-flight copy: the message at trajectory step ``k``."""
+    """One in-flight copy: the message at trajectory step ``k``.
 
-    msg: RoutedMessage
-    step: int
+    A hand-written slotted class rather than a frozen dataclass: forwarding
+    constructs one ``Hop`` per advanced hop per round, and the frozen
+    ``__init__`` (one ``object.__setattr__`` per field) dominated that loop.
+    Instances are immutable by convention; value equality and hashing match
+    the previous dataclass behaviour.
+    """
+
+    __slots__ = ("msg", "step")
+
+    def __init__(self, msg: RoutedMessage, step: int) -> None:
+        self.msg = msg
+        self.step = step
 
     def advanced(self) -> "Hop":
         """The hop for the next trajectory step."""
@@ -68,6 +78,17 @@ class Hop:
     @property
     def at_final_swarm(self) -> bool:
         return self.step >= self.msg.final_step
+
+    def __eq__(self, other: object):
+        if other.__class__ is Hop:
+            return self.msg == other.msg and self.step == other.step
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.msg, self.step))
+
+    def __repr__(self) -> str:
+        return f"Hop(msg={self.msg!r}, step={self.step!r})"
 
 
 def make_routed_message(

@@ -34,19 +34,27 @@ def draw_sample_rank(rng: np.random.Generator, params: ProtocolParams) -> int:
 
 
 def rank_in_swarm(
-    index: PositionIndex, p: float, node_id: int, params: ProtocolParams
+    index: PositionIndex,
+    p: float,
+    node_id: int,
+    params: ProtocolParams,
+    *,
+    radius: float | None = None,
 ) -> int | None:
     """Rank of ``node_id`` within ``S(p)`` (0-based, clockwise from arc start).
 
     Returns ``None`` if the node is not in the swarm.  Ranks are computed over
     the overlay's full membership (a node cannot know which neighbours were
     churned this very round), which is exactly what preserves uniformity.
+    ``radius`` lets hot callers pass a precomputed swarm radius (the derived
+    ``params.swarm_radius`` recomputes ``lam`` on every access).
     """
-    ordered = index.sorted_ids_in_arc(Arc(p, params.swarm_radius))
-    hits = np.nonzero(ordered == node_id)[0]
-    if hits.size == 0:
+    rho = params.swarm_radius if radius is None else radius
+    ordered = index.ids_within_list(p, rho)
+    try:
+        return ordered.index(node_id)
+    except ValueError:
         return None
-    return int(hits[0])
 
 
 def sampling_recipient(

@@ -11,6 +11,7 @@ from repro.sim.engine import (
 from repro.sim.identity import Lifecycle, NodeRecord
 from repro.sim.metrics import MetricsCollector, RoundMetrics
 from repro.sim.network import Inbox, Network
+from repro.sim.profile import PhaseProfiler, PhaseTimings
 from repro.sim.trace import GraphTrace
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "NodeContext",
     "NodeProtocol",
     "NodeRecord",
+    "PhaseProfiler",
+    "PhaseTimings",
     "RoundMetrics",
     "RoundReport",
 ]

@@ -35,6 +35,7 @@ from repro.faults.plan import FaultPlan
 from repro.sim.identity import Lifecycle
 from repro.sim.metrics import MetricsCollector, RoundMetrics
 from repro.sim.network import Inbox, Network
+from repro.sim.profile import PhaseProfiler, PhaseTimings
 from repro.sim.trace import GraphTrace
 from repro.util.rngs import PositionHash, RngService
 
@@ -105,6 +106,15 @@ class NodeContext:
         """Send the same message to several nodes."""
         self._network.send_many(self.node_id, dsts, msg)
 
+    def send_many_batch(self, items: list[tuple[tuple[int, ...], object]]) -> None:
+        """Send many multicasts at once (pre-tupled plain-``int`` receivers).
+
+        Order-equivalent to calling :meth:`send_many` per ``(dsts, msg)``
+        item; empty receiver tuples are skipped.  Hot-path helper for the
+        per-hop forwarding loops.
+        """
+        self._network.send_many_batch(self.node_id, items)
+
 
 class NodeProtocol(abc.ABC):
     """Per-node protocol state machine."""
@@ -150,6 +160,7 @@ class Engine:
         join_min_age: int = 2,
         faults: FaultPlan | None = None,
         health: HealthMonitor | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.params = params
         self.rng_service = RngService(params.seed)
@@ -172,6 +183,9 @@ class Engine:
         if self.faults is not None:
             self.network.fault_hook = self.faults
         self.health = health
+        #: Optional per-phase wall-time profiler; ``None`` (the default)
+        #: skips every timing statement in :meth:`run_round`.
+        self.profiler = profiler
         self.trace = GraphTrace(edge_depth=trace_depth)
         self.metrics = MetricsCollector()
         self.ledger = ChurnLedger(params, join_min_age=join_min_age)
@@ -215,6 +229,10 @@ class Engine:
 
     def run_round(self) -> RoundReport:
         t = self.round
+        prof = self.profiler
+        clock = prof.clock if prof is not None else None
+        if clock is not None:
+            _t0 = clock()
         if self.faults is not None:
             self.faults.begin_round(t)
 
@@ -250,6 +268,8 @@ class Engine:
             self._spawn(j.new_id)
             join_notices.setdefault(j.bootstrap_id, []).append(JoinNotice(j.new_id))
         self.ledger.commit(t, decision)
+        if clock is not None:
+            _t1 = clock()
 
         # 2. Receive phase (post-churn survivors only).  A node joining this
         # round receives nothing this round: everything due now was sent
@@ -266,6 +286,8 @@ class Engine:
             # The reference arrives out of band (handed over by the adversary);
             # it is knowledge, not a message, so it adds no edge.
             inboxes.setdefault(w, []).extend((-1, n) for n in notices)
+        if clock is not None:
+            _t2 = clock()
 
         # 3. Compute + send phase, deterministic node order.  A stalled node
         # skips its compute phase entirely: its inbox for this round is lost
@@ -284,6 +306,8 @@ class Engine:
                 network=self.network,
             )
             self._protocols[v].on_round(ctx)
+        if clock is not None:
+            _t3 = clock()
 
         edges, sent = self.network.close_send_phase()
         self.trace.record(
@@ -294,8 +318,12 @@ class Engine:
             leaves=tuple(decision.leaves),
         )
         fault_stats = self.faults.round_stats() if self.faults is not None else None
+        phases: PhaseTimings | None = None
+        if clock is not None:
+            _t4 = clock()
+            phases = prof.record(_t1 - _t0, _t2 - _t1, _t3 - _t2, _t4 - _t3)
         metrics = self.metrics.record_round(
-            t, sent, received, len(alive), faults=fault_stats
+            t, sent, received, len(alive), faults=fault_stats, phases=phases
         )
         health_events: tuple[DegradationEvent, ...] = ()
         if self.health is not None:

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sim.profile import PhaseTimings
+
 __all__ = ["FaultRoundStats", "RoundMetrics", "MetricsCollector"]
 
 
@@ -36,7 +38,9 @@ class RoundMetrics:
 
     ``faults`` is ``None`` unless a fault layer injected something this
     round — a faultless run's metrics are indistinguishable from a run
-    without the fault layer at all.
+    without the fault layer at all.  ``phases`` carries the round's
+    per-phase wall-time when a :class:`~repro.sim.profile.PhaseProfiler`
+    is attached to the engine (``None`` otherwise).
     """
 
     round: int
@@ -47,6 +51,7 @@ class RoundMetrics:
     mean_received: float
     alive: int
     faults: FaultRoundStats | None = None
+    phases: PhaseTimings | None = None
 
 
 @dataclass
@@ -62,6 +67,7 @@ class MetricsCollector:
         received_per_node: dict[int, int],
         alive_count: int,
         faults: FaultRoundStats | None = None,
+        phases: PhaseTimings | None = None,
     ) -> RoundMetrics:
         sent = np.fromiter(sent_per_node.values(), dtype=np.int64) if sent_per_node else np.zeros(1, dtype=np.int64)
         recv = (
@@ -78,6 +84,7 @@ class MetricsCollector:
             mean_received=float(recv.sum() / max(1, alive_count)),
             alive=alive_count,
             faults=faults,
+            phases=phases,
         )
         self.history.append(metrics)
         return metrics

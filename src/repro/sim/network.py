@@ -16,6 +16,12 @@ Multicasts (one payload to many receivers) are first-class: the payload object
 is shared, not copied, which keeps the ``O(log^3 n)``-messages-per-node
 protocol affordable in pure Python while message/edge counts stay exact.
 
+**Hot path.**  ``send_many`` and ``deliver`` dominate large simulations, so
+both avoid per-element Python churn: NumPy id arrays are coerced via a single
+C-level ``tolist`` instead of a per-id generator, delivery shares one
+``(sender, payload)`` pair across all receivers of a multicast, and
+``has_pending`` reads a running counter instead of scanning the buckets.
+
 **Fault hook.**  An optional :attr:`Network.fault_hook` (duck-typed to
 :class:`repro.faults.injector.FaultInjector`) is consulted once per frozen
 receiver at ``close_send_phase``: it returns the message's *fates* — a tuple
@@ -33,7 +39,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Protocol, Sequence
 
-__all__ = ["Network", "Inbox", "FaultHook"]
+import numpy as np
+
+__all__ = ["Network", "Inbox", "FaultHook", "EdgeLog"]
 
 # An inbox is a list of (sender id, message object) pairs.
 Inbox = list[tuple[int, object]]
@@ -48,6 +56,59 @@ class FaultHook(Protocol):  # pragma: no cover - typing aid only
     def message_fates(self, t: int, src: int, dst: int) -> tuple[int, ...]: ...
 
 
+class EdgeLog:
+    """The edge set ``E_t`` of one round, materialized lazily.
+
+    ``close_send_phase`` hands the frozen send lists to this wrapper instead
+    of expanding every multicast into ``(src, dst)`` tuples eagerly — in runs
+    without an adversary, health monitor, or trace query the expansion never
+    happens at all.  Once expanded the flat list is cached and the send lists
+    released.  Behaves like a read-only list of ``(src, dst)`` pairs.
+    """
+
+    __slots__ = ("_singles", "_multis", "_flat")
+
+    def __init__(
+        self,
+        singles: list[tuple[int, int, object]],
+        multis: list[tuple[int, Sequence[int], object]],
+    ) -> None:
+        self._singles: list | None = singles
+        self._multis: list | None = multis
+        self._flat: list[tuple[int, int]] | None = None
+
+    def _materialize(self) -> list[tuple[int, int]]:
+        flat = self._flat
+        if flat is None:
+            flat = [(src, dst) for src, dst, _ in self._singles]
+            for src, dsts, _ in self._multis:
+                flat.extend((src, dst) for dst in dsts)
+            self._flat = flat
+            self._singles = None  # drop payload references
+            self._multis = None
+        return flat
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __getitem__(self, i):
+        return self._materialize()[i]
+
+    def __contains__(self, edge) -> bool:
+        return edge in self._materialize()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EdgeLog):
+            return self._materialize() == other._materialize()
+        return self._materialize() == other
+
+    def __repr__(self) -> str:
+        return f"EdgeLog({self._materialize()!r})"
+
+
 class Network:
     """Collects sends during a round and delivers them the next round(s)."""
 
@@ -60,6 +121,9 @@ class Network:
         self._pending: dict[int, list[tuple[int, int, object]]] = {}
         self._pending_multi: dict[int, list[tuple[int, Sequence[int], object]]] = {}
         self._sent_counts: defaultdict[int, int] = defaultdict(int)
+        # Running count of undelivered receiver-copies across the sending
+        # lists and every bucket; ``has_pending`` is O(1) because of it.
+        self._pending_count = 0
         #: Optional fault injector (see module docstring); ``None`` = the
         #: paper's perfectly reliable synchronous network.
         self.fault_hook: FaultHook | None = None
@@ -73,6 +137,7 @@ class Network:
         """Send one message; creates edge ``(src, dst)`` this round."""
         self._sending.append((src, int(dst), msg))
         self._sent_counts[src] += 1
+        self._pending_count += 1
 
     def send_many(
         self, src: int, dsts: Sequence[int] | Iterable[int], msg: object
@@ -81,40 +146,58 @@ class Network:
 
         ``dsts`` may be any iterable, including a NumPy id array; receiver
         ids are coerced to plain ``int`` exactly like :meth:`send` so trace
-        edges and inbox keys stay type-consistent across both paths.
+        edges and inbox keys stay type-consistent across both paths.  The
+        NumPy case converts in one C call (``tolist``) — this is the hottest
+        line of the whole simulator.
         """
-        dsts = tuple(int(d) for d in dsts)
+        if isinstance(dsts, np.ndarray):
+            dsts = tuple(dsts.tolist())
+        else:
+            dsts = tuple(map(int, dsts))
         if not dsts:
             return
         self._sending_multi.append((src, dsts, msg))
         self._sent_counts[src] += len(dsts)
+        self._pending_count += len(dsts)
+
+    def send_many_batch(
+        self, src: int, items: list[tuple[tuple[int, ...], object]]
+    ) -> None:
+        """File many multicasts from one sender in one call.
+
+        ``items`` holds ``(receivers, payload)`` pairs whose receivers are
+        already plain-``int`` tuples (the batched node hot paths produce
+        exactly that).  Equivalent to calling :meth:`send_many` per item in
+        order, minus 2 dict updates and an isinstance probe per call — the
+        forwarding loops issue one multicast per held hop, so per-call
+        overhead is the dominant cost at scale.
+        """
+        sending = self._sending_multi
+        total = 0
+        for dsts, msg in items:
+            if dsts:
+                sending.append((src, dsts, msg))
+                total += len(dsts)
+        self._sent_counts[src] += total
+        self._pending_count += total
 
     @property
     def has_pending(self) -> bool:
         """Whether any messages are awaiting delivery (any bucket)."""
-        return bool(
-            self._sending
-            or self._sending_multi
-            or any(self._pending.values())
-            or any(self._pending_multi.values())
-        )
+        return self._pending_count > 0
 
     # ------------------------------------------------------------------
     # Round boundary (called by the engine)
     # ------------------------------------------------------------------
 
-    def close_send_phase(self) -> tuple[list[tuple[int, int]], dict[int, int]]:
+    def close_send_phase(self) -> tuple[EdgeLog, dict[int, int]]:
         """Freeze this round's sends: returns ``(E_t, sent_counts)``.
 
-        The messages move to the pending buckets for later delivery; the
-        fault hook (if any) assigns each receiver its fates here.
+        ``E_t`` is a lazily-expanded :class:`EdgeLog` over the frozen send
+        lists.  The messages move to the pending buckets for later delivery;
+        the fault hook (if any) assigns each receiver its fates here.
         """
-        edges: list[tuple[int, int]] = []
-        for src, dst, _ in self._sending:
-            edges.append((src, dst))
-        for src, dsts, _ in self._sending_multi:
-            for dst in dsts:
-                edges.append((src, dst))
+        edges = EdgeLog(self._sending, self._sending_multi)
         sent = dict(self._sent_counts)
         hook = self.fault_hook
         if hook is None or not hook.message_faults_active:
@@ -133,9 +216,11 @@ class Network:
         t = self._round
         pending = self._pending
         pending_multi = self._pending_multi
+        count = 0
         for src, dst, msg in self._sending:
             for latency in hook.message_fates(t, src, dst):
                 pending.setdefault(latency, []).append((src, dst, msg))
+                count += 1
         for src, dsts, msg in self._sending_multi:
             # Group surviving receivers by latency so the shared-payload
             # multicast structure (and in-bucket receiver order) is kept;
@@ -146,6 +231,12 @@ class Network:
                     groups.setdefault(latency, []).append(dst)
             for latency, group in groups.items():
                 pending_multi.setdefault(latency, []).append((src, group, msg))
+                count += len(group)
+        # Drops and duplicates change the copy count; re-base the counter on
+        # what actually reached the buckets this round.
+        self._pending_count += count - (
+            len(self._sending) + sum(len(d) for _, d, _ in self._sending_multi)
+        )
 
     def deliver(
         self, alive: frozenset[int] | set[int]
@@ -155,20 +246,31 @@ class Network:
         Returns ``(inboxes, received_counts)``.  Must be called after the
         round's churn has been applied so that churned-out nodes receive
         nothing.  Higher buckets shift down one step per call.
+
+        Receivers are grouped without per-message tuple churn: all copies of
+        one multicast share a single ``(sender, payload)`` pair, and the
+        no-fault fast path (everything in bucket 1) skips the bucket shift.
         """
         due = self._pending.pop(1, [])
         due_multi = self._pending_multi.pop(1, [])
-        self._pending = {k - 1: v for k, v in self._pending.items()}
-        self._pending_multi = {k - 1: v for k, v in self._pending_multi.items()}
-        inboxes: dict[int, Inbox] = defaultdict(list)
-        received: defaultdict[int, int] = defaultdict(int)
+        if self._pending:
+            self._pending = {k - 1: v for k, v in self._pending.items()}
+        if self._pending_multi:
+            self._pending_multi = {k - 1: v for k, v in self._pending_multi.items()}
+        inboxes: defaultdict[int, Inbox] = defaultdict(list)
+        inbox_of = inboxes.__getitem__
+        delivered = len(due)
         for src, dst, msg in due:
             if dst in alive:
-                inboxes[dst].append((src, msg))
-                received[dst] += 1
+                inbox_of(dst).append((src, msg))
         for src, dsts, msg in due_multi:
+            entry = (src, msg)
+            delivered += len(dsts)
             for dst in dsts:
                 if dst in alive:
-                    inboxes[dst].append((src, msg))
-                    received[dst] += 1
-        return dict(inboxes), dict(received)
+                    inbox_of(dst).append(entry)
+        self._pending_count -= delivered
+        # Every delivery appended exactly one inbox entry, so the received
+        # counts are the inbox lengths — no per-message counter updates.
+        received = {dst: len(entries) for dst, entries in inboxes.items()}
+        return dict(inboxes), received

@@ -1,0 +1,155 @@
+"""Tracked benchmark records (``BENCH_<id>.json``).
+
+Every benchmark appends one entry per run to a small JSON file committed
+under ``benchmarks/results/``, so performance history travels with the repo
+and regressions show up in diffs.  One file per benchmark id::
+
+    {
+      "schema": 1,
+      "id": "micro_protocol_rounds",
+      "entries": [
+        {"created": "2026-08-06T12:00:00Z", "n": 48, "rounds": 2,
+         "seconds_per_round": 0.2662, "peak_rss_kb": 120832,
+         "label": "optional free-form tag"},
+        ...
+      ]
+    }
+
+``seconds_per_round`` is wall-time divided by the simulated rounds per
+benchmark iteration; ``peak_rss_kb`` is the process peak resident set in
+KiB (``ru_maxrss``; measured via :mod:`resource`, so no extra dependency).
+Files keep the newest :data:`MAX_ENTRIES` entries — old history rolls off
+instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MAX_ENTRIES",
+    "bench_path",
+    "peak_rss_kb",
+    "make_entry",
+    "append_entry",
+    "load_bench_file",
+    "validate_bench_file",
+]
+
+SCHEMA_VERSION = 1
+MAX_ENTRIES = 50
+
+#: Required per-entry fields and their types (``label`` is optional).
+_ENTRY_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "created": str,
+    "n": int,
+    "rounds": int,
+    "seconds_per_round": (int, float),
+    "peak_rss_kb": int,
+}
+
+
+def bench_path(directory: Path | str, bench_id: str) -> Path:
+    """The ``BENCH_<id>.json`` path for a benchmark id."""
+    return Path(directory) / f"BENCH_{bench_id}.json"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    Linux reports ``ru_maxrss`` in KiB already; macOS reports bytes — the
+    heuristic below normalises (a real process peak is far above 1 GiB when
+    expressed in bytes, far below when in KiB).
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if rss > 1 << 30:  # plausibly bytes (macOS)
+        rss //= 1024
+    return int(rss)
+
+
+def make_entry(
+    *,
+    n: int,
+    rounds: int,
+    seconds_per_round: float,
+    created: str | None = None,
+    label: str | None = None,
+) -> dict:
+    """One schema-valid benchmark entry (RSS sampled at call time)."""
+    entry = {
+        "created": created
+        or datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "n": int(n),
+        "rounds": int(rounds),
+        "seconds_per_round": float(seconds_per_round),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if label is not None:
+        entry["label"] = str(label)
+    return entry
+
+
+def append_entry(directory: Path | str, bench_id: str, entry: dict) -> Path:
+    """Append ``entry`` to ``BENCH_<bench_id>.json``, trimming old history.
+
+    Creates the file (and directory) if missing; an existing file must be
+    schema-valid, so a corrupted record fails loudly instead of silently
+    restarting history.
+    """
+    path = bench_path(directory, bench_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        data = validate_bench_file(path)
+        if data["id"] != bench_id:
+            raise ValueError(f"{path}: holds id {data['id']!r}, not {bench_id!r}")
+    else:
+        data = {"schema": SCHEMA_VERSION, "id": bench_id, "entries": []}
+    _validate_entry(entry, where=f"new entry for {bench_id}")
+    data["entries"] = (data["entries"] + [entry])[-MAX_ENTRIES:]
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def load_bench_file(path: Path | str) -> dict:
+    """Parse a BENCH file without validation (raises on malformed JSON)."""
+    return json.loads(Path(path).read_text())
+
+
+def validate_bench_file(path: Path | str) -> dict:
+    """Parse and schema-check one BENCH file; returns the parsed payload."""
+    path = Path(path)
+    data = load_bench_file(path)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top level must be an object")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {data.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("id"), str) or not data["id"]:
+        raise ValueError(f"{path}: missing benchmark id")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: entries must be a list")
+    if len(entries) > MAX_ENTRIES:
+        raise ValueError(f"{path}: {len(entries)} entries > {MAX_ENTRIES}")
+    for i, entry in enumerate(entries):
+        _validate_entry(entry, where=f"{path} entry {i}")
+    return data
+
+
+def _validate_entry(entry: object, where: str) -> None:
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where}: entry must be an object")
+    for name, types in _ENTRY_FIELDS.items():
+        if name not in entry:
+            raise ValueError(f"{where}: missing field {name!r}")
+        if not isinstance(entry[name], types) or isinstance(entry[name], bool):
+            raise ValueError(f"{where}: field {name!r} has wrong type")
+    if entry["seconds_per_round"] < 0 or entry["n"] < 0 or entry["rounds"] < 0:
+        raise ValueError(f"{where}: negative measurement")
+    if "label" in entry and not isinstance(entry["label"], str):
+        raise ValueError(f"{where}: label must be a string")
