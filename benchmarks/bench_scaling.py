@@ -1,0 +1,37 @@
+"""Bench scaling — steady-state maintenance cost versus network size.
+
+Times steady-state protocol rounds at n in {48, 128, 256, 512}; quick mode
+(the CI default) stops at 128 so the smoke job stays fast, ``--full`` runs
+the whole curve.  Each measurement appends one entry to
+``benchmarks/results/BENCH_scaling.json`` when recording is enabled (see
+the ``record_bench`` fixture); ``python -m repro scale`` renders the
+recorded curve as a table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolParams
+from repro.core.runner import MaintenanceSimulation
+
+SIZES = (48, 128, 256, 512)
+QUICK_SIZES = (48, 128)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_round_cost(benchmark, quick, record_bench, n):
+    """Seconds per steady-state round at network size ``n``."""
+    if quick and n not in QUICK_SIZES:
+        pytest.skip(f"n={n} runs only with --full")
+    params = ProtocolParams(n=n, c=1.2, r=2, delta=3, tau=8, seed=1)
+    sim = MaintenanceSimulation(params)
+    sim.run(2 * (params.lam + 3))  # reach steady state
+
+    def two_rounds():
+        sim.run(2)
+        return sim.round
+
+    benchmark.pedantic(two_rounds, rounds=2 if quick else 3, iterations=1)
+    record_bench(benchmark, "scaling", n=n, rounds=2)
+    assert sim.audit_overlay().edge_coverage == 1.0

@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.util.benchrec import append_entry, make_entry
+from repro.util.benchrec import append_entry, make_entry, recording_enabled
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -51,17 +51,31 @@ def record_bench(quick):
     timed section) and files ``seconds_per_round = mean / rounds``.  ``n``
     is the workload's network size (0 where no single size applies) and
     ``rounds`` the simulated rounds per timed iteration.
+
+    BENCH files are committed history, so nothing is persisted unless the
+    run opts in: pass an explicit ``label`` describing the measurement, or
+    set ``REPRO_BENCH_RECORD=1`` in the environment (entries then carry the
+    mode label ``quick``/``full``).  Plain measurement runs return ``None``.
     """
 
-    def _record(benchmark, bench_id: str, *, n: int = 0, rounds: int = 1):
+    def _record(
+        benchmark,
+        bench_id: str,
+        *,
+        n: int = 0,
+        rounds: int = 1,
+        label: str | None = None,
+    ):
         meta = getattr(benchmark, "stats", None)
         if meta is None:  # --benchmark-disable: nothing was timed
+            return None
+        if not recording_enabled(label):
             return None
         entry = make_entry(
             n=n,
             rounds=rounds,
             seconds_per_round=meta.stats.mean / max(1, rounds),
-            label="quick" if quick else "full",
+            label=label if label is not None else ("quick" if quick else "full"),
         )
         return append_entry(RESULTS_DIR, bench_id, entry)
 

@@ -1,0 +1,86 @@
+"""CI perf regression guard: fresh quick-bench vs committed BENCH history.
+
+Reads a pytest-benchmark ``--benchmark-json`` dump, matches the named tests
+against their committed ``benchmarks/results/BENCH_<id>.json`` records, and
+fails (exit 1) when a fresh mean seconds-per-round exceeds the *last
+committed* entry by more than ``--factor`` (default 1.25x, absorbing normal
+runner jitter while catching real regressions).
+
+Usage::
+
+    python benchmarks/perf_guard.py bench.json \
+        test_micro_protocol_rounds=micro_protocol_rounds [--factor 1.25]
+
+Each positional check is ``<test name>=<bench id>``; the test's simulated
+rounds-per-iteration are taken from the committed entry, so both sides
+compare in seconds per simulated round.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _find_benchmark(payload: dict, test_name: str) -> dict | None:
+    for bench in payload.get("benchmarks", []):
+        if bench.get("name", "").split("[")[0] == test_name.split("[")[0]:
+            if "[" not in test_name or bench.get("name") == test_name:
+                return bench
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.util.benchrec import bench_path, validate_bench_file
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_file", help="pytest-benchmark --benchmark-json dump")
+    parser.add_argument(
+        "checks", nargs="+", metavar="TEST=BENCH_ID", help="tests to guard"
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=1.25,
+        help="allowed slowdown vs last committed entry (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = json.loads(Path(args.json_file).read_text())
+    failed = False
+    for spec in args.checks:
+        test_name, sep, bench_id = spec.partition("=")
+        if not sep:
+            print(f"bad check spec {spec!r} (want TEST=BENCH_ID)")
+            return 2
+        record = validate_bench_file(bench_path(RESULTS_DIR, bench_id))
+        if not record["entries"]:
+            print(f"{bench_id}: no committed entries to compare against")
+            return 2
+        committed = record["entries"][-1]
+        bench = _find_benchmark(payload, test_name)
+        if bench is None:
+            print(f"{test_name}: not found in {args.json_file}")
+            failed = True
+            continue
+        rounds = max(1, committed["rounds"])
+        fresh = bench["stats"]["mean"] / rounds
+        limit = committed["seconds_per_round"] * args.factor
+        verdict = "OK" if fresh <= limit else "REGRESSION"
+        print(
+            f"{test_name}: fresh {fresh:.4f} s/round vs committed "
+            f"{committed['seconds_per_round']:.4f} x {args.factor} "
+            f"= {limit:.4f} -> {verdict}"
+        )
+        if fresh > limit:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

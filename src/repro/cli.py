@@ -21,6 +21,11 @@ Commands
 ``sweep [E-ID ...] [--seeds S,S,...] [--workers W] [--full]``
     Fan an (experiment x seed) grid over worker processes and print the
     merged table; the output is bit-for-bit identical for any worker count.
+``scale [--file PATH]``
+    Print the recorded scaling curve (seconds per round and peak RSS per
+    network size) from ``benchmarks/results/BENCH_scaling.json``; refresh
+    it with ``pytest benchmarks/bench_scaling.py --benchmark-only --full``
+    under ``REPRO_BENCH_RECORD=1``.
 """
 
 from __future__ import annotations
@@ -160,6 +165,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.util.benchrec import validate_bench_file
+
+    path = Path(args.file)
+    if not path.exists():
+        print(
+            f"{path}: no scaling record yet; run\n"
+            "  REPRO_BENCH_RECORD=1 PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_scaling.py --benchmark-only --full"
+        )
+        return 2
+    data = validate_bench_file(path)
+    latest: dict[int, dict] = {}
+    for entry in data["entries"]:  # newest entry per size wins
+        latest[entry["n"]] = entry
+    if not latest:
+        print(f"{path}: no entries")
+        return 2
+    print(f"{'n':>6}  {'s/round':>9}  {'peak RSS':>9}  recorded")
+    base: float | None = None
+    for n in sorted(latest):
+        entry = latest[n]
+        spr = entry["seconds_per_round"]
+        if base is None:
+            base = spr or None
+        rel = f"  ({spr / base:.1f}x n={min(latest)})" if base else ""
+        rss_mb = entry["peak_rss_kb"] / 1024.0
+        print(f"{n:>6}  {spr:>9.4f}  {rss_mb:>7.1f}MB  {entry['created']}{rel}")
+    return 0
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.c is not None:
@@ -224,6 +262,15 @@ def main(argv: list[str] | None = None) -> int:
         help="attach a RandomChurnAdversary with this intensity (0 = none)",
     )
 
+    p_scale = sub.add_parser(
+        "scale", help="print the recorded scaling curve (s/round, RSS per n)"
+    )
+    p_scale.add_argument(
+        "--file",
+        default="benchmarks/results/BENCH_scaling.json",
+        help="BENCH_scaling.json path (default: %(default)s)",
+    )
+
     p_par = sub.add_parser("params", help="show derived parameters for n")
     p_par.add_argument("n", type=int)
     p_par.add_argument("--c", type=float, default=None)
@@ -239,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
+        "scale": _cmd_scale,
     }
     return handlers[args.command](args)
 

@@ -203,8 +203,8 @@ class DHTNode(MaintenanceNode):
     # Delivery handling (PUT arrivals, GET arrivals)
     # ------------------------------------------------------------------
 
-    def _deliver(self, ctx: NodeContext, hop) -> None:
-        payload = hop.msg.payload
+    def _deliver(self, ctx: NodeContext, msg) -> None:
+        payload = msg.payload
         tag = payload[0] if isinstance(payload, tuple) else None
         if tag == "put":
             _, key, value = payload
@@ -226,4 +226,4 @@ class DHTNode(MaintenanceNode):
             else:
                 ctx.send(requester, response)
             return
-        super()._deliver(ctx, hop)
+        super()._deliver(ctx, msg)

@@ -61,8 +61,8 @@ from repro.core.messages import (
 )
 from repro.overlay.positions import PositionIndex
 from repro.routing.messages import Hop, RoutedMessage, make_routed_message
-from repro.routing.sampling import rank_in_swarm
 from repro.sim.engine import EngineServices, JoinNotice, NodeContext, NodeProtocol
+from repro.sim.hopplane import HopDelivery
 from repro.util.intervals import wrap
 
 __all__ = ["Phase", "MaintenanceNode"]
@@ -74,6 +74,77 @@ class Phase(enum.Enum):
     NEW = "new"  # just joined; waiting for the bootstrap token grant
     FRESH = "fresh"  # connects to mature sponsors every cycle
     ESTABLISHED = "established"  # member of the current overlay
+
+
+# ----------------------------------------------------------------------
+# Shared per-round hop classification (columnar plane receive path)
+#
+# With the columnar hop plane each *logical* hop is one row shared by every
+# receiver, so its classification — next step, final test, swarm lookup
+# point, join-record extraction — runs ONCE per round for the whole network
+# (memoised on ``HopDelivery.cache``) instead of once per copy per receiver.
+# Values are exactly what the legacy per-copy inbox loop computes.
+# ----------------------------------------------------------------------
+
+
+def _even_hop_cols(delivery: HopDelivery):
+    """Row kinds for even rounds: 0 skip, 1 arrived join, 2 final, 3 mid."""
+    msgs = delivery.msgs
+    steps = delivery.steps.tolist()
+    count = len(msgs)
+    kind = np.zeros(count, dtype=np.int8)
+    point = np.zeros(count, dtype=np.float64)
+    next_ks = [0] * count
+    recs: list[JoinRecord | None] = [None] * count
+    for i, m in enumerate(msgs):
+        k = steps[i]
+        fs = m.final_step
+        if k >= fs:
+            continue  # defensive: deliveries happen at odd rounds
+        nk = k + 1
+        next_ks[i] = nk
+        if nk == fs:
+            payload = m.payload
+            if isinstance(payload, tuple) and payload[0] == "join":
+                kind[i] = 1
+                recs[i] = payload[1]
+            else:
+                kind[i] = 2
+                point[i] = m.target
+        else:
+            kind[i] = 3
+            point[i] = m.trajectory[nk]
+    return kind, point, next_ks, recs
+
+
+def _odd_hop_cols(delivery: HopDelivery):
+    """Per-row final flag and handover lookup point for odd rounds."""
+    msgs = delivery.msgs
+    steps = delivery.steps.tolist()
+    count = len(msgs)
+    final = np.zeros(count, dtype=bool)
+    point = np.zeros(count, dtype=np.float64)
+    for i, m in enumerate(msgs):
+        k = steps[i]
+        if k >= m.final_step:
+            final[i] = True
+        else:
+            point[i] = m.trajectory[k]
+    return final, point
+
+
+def _dedup_rows(rows: np.ndarray) -> np.ndarray:
+    """First occurrence of each row id, in arrival order (C-level dedup).
+
+    Matches the legacy per-copy ``(message identity, step)`` seen-set: the
+    plane interned exactly those pairs into rows, and arrival order is
+    global send order either way.
+    """
+    uniq, first = np.unique(rows, return_index=True)
+    if uniq.size == rows.size:
+        return rows
+    first.sort()
+    return rows[first]
 
 
 # How many rounds a token stays usable.  The paper discards unused tokens
@@ -89,6 +160,15 @@ class MaintenanceNode(NodeProtocol):
         self.id = node_id
         self.params: ProtocolParams = services.params
         self.hash = services.position_hash
+        # Engine-shared epoch cache (None = compute everything per node).
+        # ``_pos_of`` is the hash with per-epoch memoisation when available —
+        # identical values either way, the cache is pure memoisation.
+        self._epoch_cache = services.epoch_cache
+        self._pos_of = (
+            self._epoch_cache.position
+            if self._epoch_cache is not None
+            else services.position_hash.position
+        )
         # Hot-path caches (property lookups dominate otherwise: the derived
         # radii recompute ``lam`` on every access).
         self._swarm_radius = services.params.swarm_radius
@@ -155,12 +235,22 @@ class MaintenanceNode(NodeProtocol):
     # ------------------------------------------------------------------
 
     def _d_members(self) -> PositionIndex:
-        """Current-overlay neighbourhood (self included) as a position index."""
+        """Current-overlay neighbourhood (self included) as a position index.
+
+        With the engine's epoch cache the index is an interned copy-on-write
+        view over the shared epoch-sorted slab — element-identical to the
+        fresh build (record positions are hash-derived by construction), and
+        *object*-identical across nodes with equal neighbourhoods.
+        """
         if self._d_index is None:
             table = dict(self.d_nbrs)
             if self.pos is not None:
                 table[self.id] = self.pos
-            self._d_index = PositionIndex(table)
+            cache = self._epoch_cache
+            if cache is not None and self.epoch is not None and self.pos is not None:
+                self._d_index = cache.index_for(self.epoch, frozenset(table), table)
+            else:
+                self._d_index = PositionIndex(table)
         return self._d_index
 
     def _swarm_from(self, index: PositionIndex, point: float):
@@ -402,7 +492,12 @@ class MaintenanceNode(NodeProtocol):
         e = ctx.round // 2
         self._cutover(ctx, e, creates)
         if self.phase is Phase.ESTABLISHED:
-            self._forward_hops(ctx, actions, points, join_recs)
+            if ctx.hops is not None:
+                plane_recs = self._even_hops_plane(ctx, ctx.hop_delivery, ctx.hops)
+                if plane_recs:
+                    self._rebroadcast_joins(ctx, self._d_members(), plane_recs)
+            if actions or join_recs:
+                self._forward_hops(ctx, actions, points, join_recs)
             self._launch_joins(ctx, e)
             self._emit_tokens(ctx)
             self._launch_queued_probes(ctx)
@@ -426,7 +521,7 @@ class MaintenanceNode(NodeProtocol):
                 self._first_epoch = e
                 self.phase = Phase.ESTABLISHED
             self.epoch = e
-            self.pos = self.hash.position(self.id, e)
+            self.pos = self._pos_of(self.id, e)
             self.d_nbrs = records
             self._d_index = None
         elif (
@@ -491,7 +586,7 @@ class MaintenanceNode(NodeProtocol):
                     batch.append((tuple(w for w in members if w != my_id), out))
                     # A holder inside the target swarm delivers to itself too.
                     if self._in_swarm(msg.target):
-                        self._deliver(ctx, out)
+                        self._deliver(ctx, msg)
                 elif size:
                     picks = []
                     for _ in range(r):
@@ -499,10 +594,15 @@ class MaintenanceNode(NodeProtocol):
                         picks.append(ids_list[j - n] if j >= n else ids_list[j])
                     batch.append((tuple(picks), Hop(msg, next_k)))
             ctx.send_many_batch(batch)
-        # Rebroadcast each arrived join record to the current holders of the
-        # three Definition-5 arcs (Listing 3 line 10); arc lookups batch per
-        # radius (list arc at rec.pos, two De Bruijn arcs at rec.pos/2 and
-        # (rec.pos+1)/2 — the order required_neighbor_arcs produced).
+        self._rebroadcast_joins(ctx, index, join_recs)
+
+    def _rebroadcast_joins(
+        self, ctx: NodeContext, index: PositionIndex, join_recs: list[JoinRecord]
+    ) -> None:
+        """Rebroadcast each arrived join record to the current holders of the
+        three Definition-5 arcs (Listing 3 line 10); arc lookups batch per
+        radius (list arc at rec.pos, two De Bruijn arcs at rec.pos/2 and
+        (rec.pos+1)/2 — the order required_neighbor_arcs produced)."""
         if join_recs:
             rebroadcast: dict[int, list[JoinRecord]] = defaultdict(list)
             list_wins = self._windows(
@@ -521,8 +621,113 @@ class MaintenanceNode(NodeProtocol):
                             rebroadcast[w].append(rec)
             for w, recs in rebroadcast.items():
                 # Deduplicate records per receiver, keep deterministic order.
-                uniq = tuple(dict.fromkeys(recs))
-                ctx.send(w, JoinBatch(uniq))
+                # Keyed on (node, epoch): ``pos`` is the hash of exactly that
+                # pair, so this equals whole-record equality dedup without
+                # paying the frozen-dataclass hash per record.
+                seen: set[tuple[int, int]] = set()
+                uniq: list[JoinRecord] = []
+                for rec in recs:
+                    k = (rec.node, rec.epoch)
+                    if k not in seen:
+                        seen.add(k)
+                        uniq.append(rec)
+                ctx.send(w, JoinBatch(tuple(uniq)))
+
+    def _even_hops_plane(
+        self, ctx: NodeContext, delivery: HopDelivery, rows: np.ndarray
+    ) -> list[JoinRecord]:
+        """Even-round forwarding over shared hop columns (plane receive path).
+
+        Behaviour-identical to classifying per-copy ``Hop`` objects and
+        running :meth:`_forward_hops`: rows arrive in legacy inbox order,
+        dedup keeps first occurrences, and the per-action loop below draws
+        rng and files sends in exactly the legacy sequence.  Returns the
+        arrived join records for rebroadcast (in arrival order).
+        """
+        cols = delivery.cache.get("even")
+        if cols is None:
+            cols = delivery.cache["even"] = _even_hop_cols(delivery)
+        kind, point, next_ks, recs = cols
+        rows_u = _dedup_rows(rows)
+        kr = kind[rows_u]
+        join_recs = [recs[row] for row in rows_u[kr == 1].tolist()]
+        act_rows = rows_u[kr >= 2]
+        if act_rows.size:
+            index = self._d_members()
+            ids_list = index.ids_list
+            n = len(ids_list)
+            rho = self._swarm_radius
+            if rho >= 0.5:
+                a = b = wr = None
+            else:
+                a_arr, b_arr, wr_arr = index.bounds_many(point[act_rows], rho)
+                a = a_arr.tolist()
+                b = b_arr.tolist()
+                wr = wr_arr.tolist()
+            finals = (kind[act_rows] == 2).tolist()
+            msgs = delivery.msgs
+            my_id = self.id
+            r = self._r
+            two = r == 2
+            rnd = ctx.rng.random
+            # Fused send path: intern/append straight into the plane columns
+            # (one call per hop would dominate this innermost loop).  Sends
+            # interleave with self-deliveries exactly as before — deliveries
+            # only touch the singles lane and draw no rng.
+            reg, pmsgs, psteps, psrcs, prows, plens, pflat = ctx.hop_columns()
+            reg_get = reg.get
+            total = 0
+            for i, row in enumerate(act_rows.tolist()):
+                msg = msgs[row]
+                if a is None:
+                    ai = 0
+                    size = n
+                else:
+                    ai = a[i]
+                    bi = b[i]
+                    size = n - ai + bi if wr[i] else bi - ai
+                if finals[i]:
+                    if a is None:
+                        members = ids_list
+                    elif wr[i]:
+                        members = ids_list[ai:] + ids_list[:bi]
+                    else:
+                        members = ids_list[ai:bi]
+                    dsts = [w for w in members if w != my_id]
+                    # A holder inside the target swarm delivers to itself too.
+                    if self._in_swarm(msg.target):
+                        self._deliver(ctx, msg)
+                elif size:
+                    if two:
+                        j0 = ai + int(rnd() * size)
+                        j1 = ai + int(rnd() * size)
+                        dsts = [
+                            ids_list[j0 - n] if j0 >= n else ids_list[j0],
+                            ids_list[j1 - n] if j1 >= n else ids_list[j1],
+                        ]
+                    else:
+                        dsts = []
+                        for _ in range(r):
+                            j = ai + int(rnd() * size)
+                            dsts.append(ids_list[j - n] if j >= n else ids_list[j])
+                else:
+                    continue
+                nd = len(dsts)
+                if nd:
+                    key = (id(msg) << 7) | next_ks[row]
+                    rw = reg_get(key)
+                    if rw is None:
+                        rw = len(pmsgs)
+                        reg[key] = rw
+                        pmsgs.append(msg)
+                        psteps.append(next_ks[row])
+                    psrcs.append(my_id)
+                    prows.append(rw)
+                    plens.append(nd)
+                    pflat.extend(dsts)
+                    total += nd
+            ctx.count_hop_sends(total)
+        return join_recs
 
     def _in_swarm(self, point: float) -> bool:
         if self.pos is None:
@@ -535,7 +740,7 @@ class MaintenanceNode(NodeProtocol):
         target_epoch = e + self.params.lam + 2
         candidates = [self.id] + [v for v in self.slots if v is not None]
         for v in dict.fromkeys(candidates):
-            pos = self.hash.position(v, target_epoch)
+            pos = self._pos_of(v, target_epoch)
             rec = JoinRecord(v, pos, target_epoch)
             self._pending_launch.append(
                 make_routed_message(
@@ -609,18 +814,26 @@ class MaintenanceNode(NodeProtocol):
                     self.h_records[rec.node] = rec
         if self.phase is not Phase.ESTABLISHED:
             return
-        h_index = (
-            PositionIndex({v: r.pos for v, r in self.h_records.items()})
-            if self.h_records
-            else None
-        )
+        if self.h_records:
+            table = {v: r.pos for v, r in self.h_records.items()}
+            cache = self._epoch_cache
+            h_index = (
+                cache.index_for(e_next, frozenset(table), table)
+                if cache is not None
+                else PositionIndex(table)
+            )
+        else:
+            h_index = None
 
         # 2. Handover in-flight hops + deliver finals.  ``hops`` arrives
         # deduplicated with its handover lookup points pre-collected by
         # :meth:`on_round`; batch the lookups, then execute in original hop
         # order (final deliveries may send and draw rng, so their
-        # interleaving with handovers must not change).
+        # interleaving with handovers must not change).  With the columnar
+        # plane the same work runs over shared row columns instead.
         hop_index = h_index if h_index is not None else self._d_members()
+        if ctx.hops is not None:
+            self._odd_hops_plane(ctx, ctx.hop_delivery, ctx.hops, hop_index)
         if hops:
             a, b, wr, ids_list, n = self._window_bounds(
                 hop_index, handover_points, self._swarm_radius
@@ -631,7 +844,7 @@ class MaintenanceNode(NodeProtocol):
             wi = 0
             for hop in hops:
                 if hop.step >= hop.msg.final_step:
-                    self._deliver(ctx, hop)
+                    self._deliver(ctx, hop.msg)
                     continue
                 if a is None:
                     ai = 0
@@ -655,17 +868,107 @@ class MaintenanceNode(NodeProtocol):
             lwins = self._windows(
                 hop_index, [m.trajectory[0] for m in launches], self._swarm_radius
             )
-            ctx.send_many_batch(
-                [
-                    (tuple(w for w in lwins[i] if w != my_id), Hop(msg, 0))
-                    for i, msg in enumerate(launches)
-                ]
-            )
+            if ctx.has_hop_plane:
+                ctx.send_hops_batch(
+                    [
+                        (msg, 0, [w for w in lwins[i] if w != my_id])
+                        for i, msg in enumerate(launches)
+                    ]
+                )
+            else:
+                ctx.send_many_batch(
+                    [
+                        (tuple(w for w in lwins[i] if w != my_id), Hop(msg, 0))
+                        for i, msg in enumerate(launches)
+                    ]
+                )
             launches.clear()
 
         # 4. Matchmaking: introduce next-overlay neighbours to each other.
         if h_index is not None:
             self._matchmake(ctx, h_index)
+
+    def _odd_hops_plane(
+        self,
+        ctx: NodeContext,
+        delivery: HopDelivery,
+        rows: np.ndarray,
+        hop_index: PositionIndex,
+    ) -> None:
+        """Odd-round handover/delivery over shared hop columns.
+
+        Mirrors the legacy odd-round hop loop exactly: dedup to first
+        occurrences in arrival order, batch the handover window bounds over
+        the non-final rows, then walk all rows in order so final deliveries
+        (which may send and draw rng) interleave with handovers unchanged.
+        """
+        cols = delivery.cache.get("odd")
+        if cols is None:
+            cols = delivery.cache["odd"] = _odd_hop_cols(delivery)
+        final, point = cols
+        rows_u = _dedup_rows(rows)
+        fl = final[rows_u]
+        h_rows = rows_u[~fl]
+        ids_list = hop_index.ids_list
+        n = len(ids_list)
+        rho = self._swarm_radius
+        if h_rows.size and rho < 0.5:
+            a_arr, b_arr, wr_arr = hop_index.bounds_many(point[h_rows], rho)
+            a = a_arr.tolist()
+            b = b_arr.tolist()
+            wr = wr_arr.tolist()
+        else:
+            a = b = wr = None
+        msgs = delivery.msgs
+        steps = delivery.steps[rows_u].tolist()
+        finals_l = fl.tolist()
+        r = self._r
+        two = r == 2
+        rnd = ctx.rng.random
+        # Fused send path — see _even_hops_plane for the invariants.
+        reg, pmsgs, psteps, psrcs, prows, plens, pflat = ctx.hop_columns()
+        reg_get = reg.get
+        my_id = self.id
+        total = 0
+        wi = 0
+        for i, row in enumerate(rows_u.tolist()):
+            msg = msgs[row]
+            if finals_l[i]:
+                self._deliver(ctx, msg)
+                continue
+            if a is None:
+                ai = 0
+                size = n
+            else:
+                ai = a[wi]
+                size = n - ai + b[wi] if wr[wi] else b[wi] - ai
+            wi += 1
+            if size:
+                if two:
+                    j0 = ai + int(rnd() * size)
+                    j1 = ai + int(rnd() * size)
+                    picks = [
+                        ids_list[j0 - n] if j0 >= n else ids_list[j0],
+                        ids_list[j1 - n] if j1 >= n else ids_list[j1],
+                    ]
+                else:
+                    picks = []
+                    for _ in range(r):
+                        j = ai + int(rnd() * size)
+                        picks.append(ids_list[j - n] if j >= n else ids_list[j])
+                key = (id(msg) << 7) | steps[i]
+                rw = reg_get(key)
+                if rw is None:
+                    rw = len(pmsgs)
+                    reg[key] = rw
+                    pmsgs.append(msg)
+                    psteps.append(steps[i])
+                psrcs.append(my_id)
+                prows.append(rw)
+                plens.append(len(picks))
+                pflat.extend(picks)
+                total += len(picks)
+        ctx.count_hop_sends(total)
 
     def _matchmake(self, ctx: NodeContext, h_index: PositionIndex) -> None:
         """Send each next-overlay node its Definition-5 neighbours (CREATE).
@@ -696,8 +999,7 @@ class MaintenanceNode(NodeProtocol):
     # Final deliveries
     # ------------------------------------------------------------------
 
-    def _deliver(self, ctx: NodeContext, hop: Hop) -> None:
-        msg = hop.msg
+    def _deliver(self, ctx: NodeContext, msg: RoutedMessage) -> None:
         payload = msg.payload
         tag = payload[0] if isinstance(payload, tuple) else None
         if tag == "probe":
@@ -727,6 +1029,6 @@ class MaintenanceNode(NodeProtocol):
         self.delivered.append((payload, ctx.round))
 
     def _my_rank(self, point: float) -> int | None:
-        return rank_in_swarm(
-            self._d_members(), point, self.id, self.params, radius=self._swarm_radius
-        )
+        # O(1) via the index's lazy slot map — same value as the documented
+        # ``ids_within_list(point, rho).index(self.id)`` rank rule.
+        return self._d_members().rank_within(point, self._swarm_radius, self.id)

@@ -81,6 +81,8 @@ class MaintenanceSimulation:
         faults: FaultPlan | None = None,
         health: HealthMonitor | None = None,
         profiler: PhaseProfiler | None = None,
+        epoch_cache: bool = True,
+        hop_plane: bool = True,
     ) -> None:
         self.params = params
         self.health = health
@@ -94,6 +96,8 @@ class MaintenanceSimulation:
             faults=faults,
             health=health,
             profiler=profiler,
+            epoch_cache=epoch_cache,
+            hop_plane=hop_plane,
         )
         self.engine.seed_nodes(range(params.n))
         if distributed_bootstrap:
@@ -207,7 +211,14 @@ class MaintenanceSimulation:
             v: n for v, n in established.items() if n.epoch == epoch
         }
         positions = {v: n.pos for v, n in members.items()}
-        truth = LDSGraph(PositionIndex(positions), self.params)
+        # Share the epoch cache's interned index when available (same
+        # elements — node positions are hash-derived — without a re-sort).
+        cache = self.engine.services.epoch_cache
+        if cache is not None:
+            index = cache.index_for(epoch, frozenset(positions), positions)
+        else:
+            index = PositionIndex(positions)
+        truth = LDSGraph(index, self.params)
         missing = 0
         required = 0
         for v, node in members.items():

@@ -244,7 +244,14 @@ AbstractSetLike = Iterable[int]
 
 
 def build_lds(
-    positions: Mapping[int, float], params: ProtocolParams
+    positions: "Mapping[int, float] | PositionIndex", params: ProtocolParams
 ) -> LDSGraph:
-    """Convenience constructor from an id -> position mapping."""
+    """Convenience constructor from an id -> position mapping.
+
+    A prebuilt :class:`PositionIndex` — e.g. an interned view handed out by
+    the engine's :class:`~repro.sim.epochs.EpochCache` — is used as-is, so
+    audits can share the epoch's sorted arrays instead of re-sorting them.
+    """
+    if isinstance(positions, PositionIndex):
+        return LDSGraph(positions, params)
     return LDSGraph(PositionIndex(positions), params)

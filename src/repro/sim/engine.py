@@ -32,6 +32,8 @@ from repro.config import ProtocolParams
 from repro.faults.health import DegradationEvent, HealthMonitor
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.sim.epochs import EpochCache
+from repro.sim.hopplane import HopDelivery, HopPlane
 from repro.sim.identity import Lifecycle
 from repro.sim.metrics import MetricsCollector, RoundMetrics
 from repro.sim.network import Inbox, Network
@@ -62,18 +64,38 @@ class EngineServices:
 
     ``position_hash`` is the paper's uniform hash ``h(v, epoch)`` known to all
     nodes (but not to the adversary); ``rng`` hands out per-node protocol
-    randomness streams.
+    randomness streams.  ``epoch_cache`` (when the engine enables it) shares
+    memoised hash evaluations and interned position indexes across nodes —
+    pure memoisation, so protocols may use it freely without changing what
+    any node could have computed alone.  ``None`` means every node computes
+    its own state from scratch (the bit-for-bit reference path).
     """
 
     params: ProtocolParams
     rng: RngService
     position_hash: PositionHash
+    epoch_cache: EpochCache | None = None
 
 
 class NodeContext:
-    """One node's window onto a single round."""
+    """One node's window onto a single round.
 
-    __slots__ = ("node_id", "round", "inbox", "rng", "params", "joined_round", "_network")
+    When the engine's columnar hop plane is mounted, routed hops arrive as
+    ``hops`` (this node's row-id array into the shared ``hop_delivery``
+    columns) instead of inbox objects, and are sent via :meth:`send_hops`.
+    """
+
+    __slots__ = (
+        "node_id",
+        "round",
+        "inbox",
+        "rng",
+        "params",
+        "joined_round",
+        "_network",
+        "hops",
+        "hop_delivery",
+    )
 
     def __init__(
         self,
@@ -84,6 +106,8 @@ class NodeContext:
         params: ProtocolParams,
         joined_round: int,
         network: Network,
+        hops: "np.ndarray | None" = None,
+        hop_delivery: HopDelivery | None = None,
     ) -> None:
         self.node_id = node_id
         self.round = t
@@ -92,6 +116,8 @@ class NodeContext:
         self.params = params
         self.joined_round = joined_round
         self._network = network
+        self.hops = hops
+        self.hop_delivery = hop_delivery
 
     @property
     def age(self) -> int:
@@ -114,6 +140,38 @@ class NodeContext:
         per-hop forwarding loops.
         """
         self._network.send_many_batch(self.node_id, items)
+
+    @property
+    def has_hop_plane(self) -> bool:
+        """Whether routed hops travel the columnar plane this run."""
+        return self._network.plane is not None
+
+    def send_hops(self, msg: object, step: int, dsts: Sequence[int]) -> None:
+        """Multicast one routed hop via the columnar plane (plain-int dsts)."""
+        self._network.send_hops(self.node_id, msg, step, dsts)
+
+    def send_hops_batch(
+        self, items: list[tuple[object, int, Sequence[int]]]
+    ) -> None:
+        """Send many hop multicasts at once (``(msg, step, dsts)`` items).
+
+        Order-equivalent to :meth:`send_hops` per item; empty receiver
+        lists are skipped.
+        """
+        self._network.send_hops_batch(self.node_id, items)
+
+    def hop_columns(self):
+        """The plane's raw append targets (see :meth:`HopPlane.columns`).
+
+        For fused forwarding loops that intern/append inline instead of
+        paying one call per hop; callers must report their copy total via
+        :meth:`count_hop_sends` afterwards.
+        """
+        return self._network.plane.columns()
+
+    def count_hop_sends(self, n: int) -> None:
+        """Account ``n`` copies filed directly through :meth:`hop_columns`."""
+        self._network.count_hop_sends(self.node_id, n)
 
 
 class NodeProtocol(abc.ABC):
@@ -161,19 +219,29 @@ class Engine:
         faults: FaultPlan | None = None,
         health: HealthMonitor | None = None,
         profiler: PhaseProfiler | None = None,
+        epoch_cache: bool = True,
+        hop_plane: bool = True,
     ) -> None:
         self.params = params
         self.rng_service = RngService(params.seed)
+        position_hash = self.rng_service.position_hash()
         self.services = EngineServices(
             params=params,
             rng=self.rng_service,
-            position_hash=self.rng_service.position_hash(),
+            position_hash=position_hash,
+            epoch_cache=EpochCache(position_hash) if epoch_cache else None,
         )
         self.protocol_factory = protocol_factory
         self.adversary = adversary
         self.strict_budget = strict_budget
         self.lifecycle = Lifecycle()
         self.network = Network()
+        if hop_plane and faults is None:
+            # The columnar hop plane assumes every send of a round shares one
+            # delivery fate; any fault plan can delay/duplicate copies across
+            # rounds, which would defeat per-round hop interning — fall back
+            # to the per-copy object path whenever faults are in play.
+            self.network.plane = HopPlane()
         self.fault_plan = faults
         self.faults = (
             FaultInjector(faults, position_hash=self.services.position_hash)
@@ -190,6 +258,9 @@ class Engine:
         self.metrics = MetricsCollector()
         self.ledger = ChurnLedger(params, join_min_age=join_min_age)
         self.round = 0
+        # Cached ``sorted(alive)`` for the compute phase; rebuilt only when a
+        # round's churn decision actually changes the population.
+        self._sorted_alive: list[int] | None = None
         self._protocols: dict[int, NodeProtocol] = {}
         self._rngs: dict[int, np.random.Generator] = {}
         self.reports: list[RoundReport] = []
@@ -235,6 +306,8 @@ class Engine:
             _t0 = clock()
         if self.faults is not None:
             self.faults.begin_round(t)
+        if self.services.epoch_cache is not None:
+            self.services.epoch_cache.begin_round(t)
 
         # 1. Adversary phase.
         decision = ChurnDecision.none()
@@ -282,6 +355,7 @@ class Engine:
             else alive
         )
         inboxes, received = self.network.deliver(receivers)
+        hop_delivery = self.network.hop_delivery
         for w, notices in join_notices.items():
             # The reference arrives out of band (handed over by the adversary);
             # it is knowledge, not a message, so it adds no edge.
@@ -289,11 +363,16 @@ class Engine:
         if clock is not None:
             _t2 = clock()
 
-        # 3. Compute + send phase, deterministic node order.  A stalled node
-        # skips its compute phase entirely: its inbox for this round is lost
-        # and it sends nothing (a transient omission fault — it stays alive
-        # and messages already in flight to it are unaffected).
-        for v in sorted(alive):
+        # 3. Compute + send phase, deterministic node order (the sorted list
+        # is cached across rounds and rebuilt only on actual churn).  A
+        # stalled node skips its compute phase entirely: its inbox for this
+        # round is lost and it sends nothing (a transient omission fault — it
+        # stays alive and messages already in flight to it are unaffected).
+        ordered = self._sorted_alive
+        if ordered is None or decision.leaves or decision.joins:
+            ordered = self._sorted_alive = sorted(alive)
+        hop_rows = hop_delivery.rows if hop_delivery is not None else None
+        for v in ordered:
             if self.faults is not None and self.faults.stalled(t, v):
                 continue
             ctx = NodeContext(
@@ -304,6 +383,8 @@ class Engine:
                 params=self.params,
                 joined_round=self.lifecycle.joined_round(v),
                 network=self.network,
+                hops=hop_rows.get(v) if hop_rows is not None else None,
+                hop_delivery=hop_delivery,
             )
             self._protocols[v].on_round(ctx)
         if clock is not None:

@@ -1,0 +1,269 @@
+"""Columnar transport for in-flight routed hops.
+
+Routed hops are ~90% of all traffic: every holder of a message forwards it to
+``r`` random swarm members (mid-route) or to the whole target swarm (final
+step), so each *logical* hop — one ``(RoutedMessage, step)`` pair — fans out
+into many receiver copies, and receivers near each other hold almost the same
+hop sets.  The seed implementation shipped each copy as a ``(sender, Hop)``
+inbox tuple and every receiver re-classified every copy in Python; with ~9
+copies per logical hop per receiver that is the dominant round cost.
+
+:class:`HopPlane` stores a round's hop traffic in columns instead:
+
+* each logical hop is **interned once per round** — the first send of a
+  ``(message identity, step)`` pair assigns it a dense row id; the message
+  object and step live in per-row columns (one entry per *logical* hop);
+* sends append ``(src, row, receiver-count)`` plus a flat receiver list —
+  no per-copy objects at all;
+* at delivery the copies are grouped by receiver with one stable argsort, so
+  each receiver gets a NumPy array of row ids *in exactly the order the
+  copies would have appeared in its legacy inbox* (global send order —
+  multicast delivery order never interleaved with singles, so dropping hops
+  from the object inboxes preserves every observable ordering);
+* per-round classification work (next step, final-step test, lookup point)
+  happens **once per logical hop** for the whole network — receivers share
+  the columns through :attr:`HopDelivery.cache` and merely gather their row
+  subset — instead of once per copy per receiver.
+
+The plane is only mounted when no fault plan is active: fault fates can
+split one round's copies across delivery rounds, which breaks the one-round
+row-interning invariant (a delayed copy must still deduplicate against a
+fresh copy of the same logical hop; see ``Engine.__init__``).  Fault runs
+keep the per-copy object path, whose behaviour the plane is pinned against
+bit-for-bit by the equivalence suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["HopPlane", "FrozenHopRound", "HopDelivery"]
+
+
+class HopDelivery:
+    """One round's hop arrivals, grouped by receiver.
+
+    ``msgs``/``steps`` are the shared per-row columns (row id -> logical
+    hop); ``rows`` maps each surviving receiver to its row-id array in
+    arrival order (duplicates included — receivers deduplicate themselves,
+    exactly like the legacy inbox path).  ``cache`` is scratch space where
+    the protocol layer memoises derived per-row columns so classification
+    runs once per round, not once per receiver.
+    """
+
+    __slots__ = ("msgs", "steps", "rows", "counts", "total", "cache")
+
+    def __init__(
+        self,
+        msgs: list[object],
+        steps: np.ndarray,
+        rows: dict[int, np.ndarray],
+        counts: dict[int, int],
+        total: int,
+    ) -> None:
+        self.msgs = msgs
+        self.steps = steps
+        self.rows = rows
+        self.counts = counts
+        self.total = total
+        self.cache: dict[object, object] = {}
+
+
+class FrozenHopRound:
+    """The immutable hop traffic of one closed send phase."""
+
+    __slots__ = ("msgs", "steps", "srcs", "send_rows", "lens", "flat")
+
+    def __init__(
+        self,
+        msgs: list[object],
+        steps: list[int],
+        srcs: list[int],
+        send_rows: list[int],
+        lens: list[int],
+        flat: list[int],
+    ) -> None:
+        self.msgs = msgs
+        self.steps = steps
+        self.srcs = srcs
+        self.send_rows = send_rows
+        self.lens = lens
+        self.flat = flat
+
+    def copies(self) -> int:
+        """Total receiver copies frozen in this round."""
+        return len(self.flat)
+
+    def iter_edges(self):
+        """Yield ``(src, dst)`` per copy, in send order (EdgeLog expansion)."""
+        flat = self.flat
+        pos = 0
+        for src, ln in zip(self.srcs, self.lens):
+            for dst in flat[pos:pos + ln]:
+                yield (src, dst)
+            pos += ln
+
+    def deliver(self, alive) -> HopDelivery:
+        """Group the copies by surviving receiver (one stable argsort)."""
+        flat = np.array(self.flat, dtype=np.int64)
+        rows = np.repeat(
+            np.array(self.send_rows, dtype=np.int64),
+            np.array(self.lens, dtype=np.int64),
+        )
+        order = np.argsort(flat, kind="stable")  # stable: keep send order per dst
+        dst_sorted = flat[order]
+        row_sorted = rows[order]
+        if dst_sorted.size:
+            starts = np.flatnonzero(np.r_[True, dst_sorted[1:] != dst_sorted[:-1]])
+            ends = np.r_[starts[1:], dst_sorted.size]
+            receivers = dst_sorted[starts].tolist()
+            starts_l = starts.tolist()
+            ends_l = ends.tolist()
+        else:
+            receivers = []
+            starts_l = ends_l = []
+        by_dst: dict[int, np.ndarray] = {}
+        counts: dict[int, int] = {}
+        for i, dst in enumerate(receivers):
+            if dst in alive:
+                a, b = starts_l[i], ends_l[i]
+                by_dst[dst] = row_sorted[a:b]
+                counts[dst] = b - a
+        return HopDelivery(
+            self.msgs,
+            np.array(self.steps, dtype=np.int64),
+            by_dst,
+            counts,
+            total=int(flat.size),
+        )
+
+
+class HopPlane:
+    """Per-round columnar collector of hop sends (see module docstring)."""
+
+    __slots__ = ("_reg", "_msgs", "_steps", "_srcs", "_rows", "_lens", "_flat")
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self._reg: dict[int, int] = {}  # (id(msg) << 7 | step) -> row
+        self._msgs: list[object] = []
+        self._steps: list[int] = []
+        self._srcs: list[int] = []
+        self._rows: list[int] = []
+        self._lens: list[int] = []
+        self._flat: list[int] = []
+
+    def send(self, src: int, msg: object, step: int, dsts: Sequence[int]) -> int:
+        """File one hop multicast; returns the number of copies created.
+
+        ``dsts`` must be a plain-``int`` sequence (the node hot paths already
+        produce those).  The ``(message identity, step)`` pair is interned to
+        a row id — message objects are shared per logical request with
+        once-only construction, so identity equals the documented msg_id
+        dedup, exactly like the legacy ``Hop`` path.
+        """
+        n = len(dsts)
+        if n == 0:
+            return 0
+        # Pack (identity, step) into one int: cheaper to hash than a tuple.
+        # Steps are bounded by final_step = 2*lam + 2 << 128, so the low
+        # 7 bits never collide across message identities.
+        key = (id(msg) << 7) | step
+        row = self._reg.get(key)
+        if row is None:
+            row = len(self._msgs)
+            self._reg[key] = row
+            self._msgs.append(msg)
+            self._steps.append(step)
+        self._srcs.append(src)
+        self._rows.append(row)
+        self._lens.append(n)
+        self._flat.extend(dsts)
+        return n
+
+    def send_batch(
+        self, src: int, items: list[tuple[object, int, Sequence[int]]]
+    ) -> int:
+        """File many hop multicasts from one sender in one call.
+
+        Equivalent to :meth:`send` per ``(msg, step, dsts)`` item in order;
+        the node forwarding loops issue one multicast per held hop, so the
+        per-call overhead this folds away is the dominant remaining cost.
+        """
+        reg = self._reg
+        reg_get = reg.get
+        msgs = self._msgs
+        steps = self._steps
+        srcs = self._srcs
+        rows = self._rows
+        lens = self._lens
+        flat = self._flat
+        total = 0
+        for msg, step, dsts in items:
+            n = len(dsts)
+            if n == 0:
+                continue
+            key = (id(msg) << 7) | step
+            row = reg_get(key)
+            if row is None:
+                row = len(msgs)
+                reg[key] = row
+                msgs.append(msg)
+                steps.append(step)
+            srcs.append(src)
+            rows.append(row)
+            lens.append(n)
+            flat.extend(dsts)
+            total += n
+        return total
+
+    def columns(
+        self,
+    ) -> tuple[
+        dict[int, int],
+        list[object],
+        list[int],
+        list[int],
+        list[int],
+        list[int],
+        list[int],
+    ]:
+        """Low-level append targets ``(reg, msgs, steps, srcs, rows, lens,
+        flat)`` for fused hot loops.
+
+        The protocol forwarding loops run once per held hop per node — the
+        innermost cost of a round — so they intern and append *inline*
+        instead of paying a method call per hop (see :meth:`send` for the
+        semantics they must reproduce: intern on ``id(msg) << 7 | step``,
+        append one ``(src, row, len)`` triple plus the flat receivers, and
+        report the copy total to ``Network.count_hop_sends``).
+        """
+        return (
+            self._reg,
+            self._msgs,
+            self._steps,
+            self._srcs,
+            self._rows,
+            self._lens,
+            self._flat,
+        )
+
+    def close_round(self) -> FrozenHopRound | None:
+        """Freeze this round's hop sends; ``None`` when there were none.
+
+        Row interning is per round by design: all copies of a logical hop
+        are sent and delivered within one round boundary (the plane is never
+        mounted together with fault plans, which are the only source of
+        cross-round copies).
+        """
+        if not self._msgs:
+            return None
+        frozen = FrozenHopRound(
+            self._msgs, self._steps, self._srcs, self._rows, self._lens, self._flat
+        )
+        self._reset()
+        return frozen

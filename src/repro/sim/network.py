@@ -41,6 +41,8 @@ from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
+from repro.sim.hopplane import FrozenHopRound, HopDelivery, HopPlane
+
 __all__ = ["Network", "Inbox", "FaultHook", "EdgeLog"]
 
 # An inbox is a list of (sender id, message object) pairs.
@@ -66,15 +68,17 @@ class EdgeLog:
     released.  Behaves like a read-only list of ``(src, dst)`` pairs.
     """
 
-    __slots__ = ("_singles", "_multis", "_flat")
+    __slots__ = ("_singles", "_multis", "_hops", "_flat")
 
     def __init__(
         self,
         singles: list[tuple[int, int, object]],
         multis: list[tuple[int, Sequence[int], object]],
+        hops: FrozenHopRound | None = None,
     ) -> None:
         self._singles: list | None = singles
         self._multis: list | None = multis
+        self._hops: FrozenHopRound | None = hops
         self._flat: list[tuple[int, int]] | None = None
 
     def _materialize(self) -> list[tuple[int, int]]:
@@ -83,9 +87,12 @@ class EdgeLog:
             flat = [(src, dst) for src, dst, _ in self._singles]
             for src, dsts, _ in self._multis:
                 flat.extend((src, dst) for dst in dsts)
+            if self._hops is not None:
+                flat.extend(self._hops.iter_edges())
             self._flat = flat
             self._singles = None  # drop payload references
             self._multis = None
+            self._hops = None
         return flat
 
     def __iter__(self):
@@ -127,6 +134,14 @@ class Network:
         #: Optional fault injector (see module docstring); ``None`` = the
         #: paper's perfectly reliable synchronous network.
         self.fault_hook: FaultHook | None = None
+        #: Optional columnar transport for routed hops (mounted by the engine
+        #: in fault-free runs; see :mod:`repro.sim.hopplane`).  When present,
+        #: protocols send hops via :meth:`send_hops` and receive them as
+        #: shared row arrays (:attr:`hop_delivery`) instead of inbox objects.
+        self.plane: HopPlane | None = None
+        self._pending_hops: FrozenHopRound | None = None
+        #: The hop arrivals of the latest :meth:`deliver` call (or ``None``).
+        self.hop_delivery: HopDelivery | None = None
         self._round = 0  # rounds closed so far (the ``t`` passed to the hook)
 
     # ------------------------------------------------------------------
@@ -181,6 +196,36 @@ class Network:
         self._sent_counts[src] += total
         self._pending_count += total
 
+    def send_hops(
+        self, src: int, msg: object, step: int, dsts: Sequence[int]
+    ) -> None:
+        """Multicast one routed hop through the columnar plane.
+
+        Counts copies exactly like :meth:`send_many` (edges, congestion and
+        ``has_pending`` stay consistent across both transports); requires a
+        mounted :attr:`plane`.
+        """
+        n = self.plane.send(src, msg, step, dsts)
+        if n:
+            self._sent_counts[src] += n
+            self._pending_count += n
+
+    def send_hops_batch(
+        self, src: int, items: list[tuple[object, int, Sequence[int]]]
+    ) -> None:
+        """File many hop multicasts from one sender through the plane."""
+        n = self.plane.send_batch(src, items)
+        if n:
+            self._sent_counts[src] += n
+            self._pending_count += n
+
+    def count_hop_sends(self, src: int, n: int) -> None:
+        """Account ``n`` copies a fused loop filed directly into the plane
+        (via :meth:`HopPlane.columns`)."""
+        if n:
+            self._sent_counts[src] += n
+            self._pending_count += n
+
     @property
     def has_pending(self) -> bool:
         """Whether any messages are awaiting delivery (any bucket)."""
@@ -197,7 +242,12 @@ class Network:
         lists.  The messages move to the pending buckets for later delivery;
         the fault hook (if any) assigns each receiver its fates here.
         """
-        edges = EdgeLog(self._sending, self._sending_multi)
+        hop_round = self.plane.close_round() if self.plane is not None else None
+        edges = EdgeLog(self._sending, self._sending_multi, hop_round)
+        if hop_round is not None:
+            if self._pending_hops is not None:  # pragma: no cover - engine bug
+                raise RuntimeError("hop round closed before previous delivery")
+            self._pending_hops = hop_round
         sent = dict(self._sent_counts)
         hook = self.fault_hook
         if hook is None or not hook.message_faults_active:
@@ -273,4 +323,13 @@ class Network:
         # Every delivery appended exactly one inbox entry, so the received
         # counts are the inbox lengths — no per-message counter updates.
         received = {dst: len(entries) for dst, entries in inboxes.items()}
+        hop_round = self._pending_hops
+        self._pending_hops = None
+        self.hop_delivery = None
+        if hop_round is not None:
+            delivery = hop_round.deliver(alive)
+            self._pending_count -= delivery.total
+            for dst, count in delivery.counts.items():
+                received[dst] = received.get(dst, 0) + count
+            self.hop_delivery = delivery
         return dict(inboxes), received

@@ -25,6 +25,7 @@ instead of growing without bound.
 from __future__ import annotations
 
 import json
+import os
 import resource
 from datetime import datetime, timezone
 from pathlib import Path
@@ -32,6 +33,8 @@ from pathlib import Path
 __all__ = [
     "SCHEMA_VERSION",
     "MAX_ENTRIES",
+    "RECORD_ENV",
+    "recording_enabled",
     "bench_path",
     "peak_rss_kb",
     "make_entry",
@@ -42,6 +45,20 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 MAX_ENTRIES = 50
+
+#: Environment opt-in for persisting benchmark entries.
+RECORD_ENV = "REPRO_BENCH_RECORD"
+
+
+def recording_enabled(label: str | None = None) -> bool:
+    """Whether a benchmark run should persist its entry.
+
+    BENCH files are committed history: a casual ``pytest benchmarks/``
+    while iterating on a change must not grow them with throwaway noise.
+    An entry is persisted only on explicit intent — the caller passed a
+    descriptive ``label``, or the run was started with ``REPRO_BENCH_RECORD=1``.
+    """
+    return label is not None or os.environ.get(RECORD_ENV) == "1"
 
 #: Required per-entry fields and their types (``label`` is optional).
 _ENTRY_FIELDS: dict[str, type | tuple[type, ...]] = {

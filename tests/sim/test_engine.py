@@ -176,6 +176,27 @@ class TestChurnSemantics:
         assert eng.trace.joins_at(1) == (16,)
 
 
+class TestSortedAliveCache:
+    """run_round sorts the alive set once and reuses it until churn."""
+
+    def test_cache_matches_alive_and_is_reused(self):
+        eng = make_engine(EchoProtocol)
+        eng.run(1)
+        cached = eng._sorted_alive
+        assert cached == sorted(eng.alive)
+        eng.run(3)  # no churn: the very same list object is reused
+        assert eng._sorted_alive is cached
+
+    def test_cache_invalidated_on_churn(self):
+        eng = make_engine(EchoProtocol, adversary=LeaveOneAdversary())
+        eng.run(1)
+        cached = eng._sorted_alive
+        eng.run(1)  # round 1: node 1 leaves, node 16 joins
+        assert eng._sorted_alive is not cached
+        assert eng._sorted_alive == sorted(eng.alive)
+        assert 1 not in eng._sorted_alive and 16 in eng._sorted_alive
+
+
 class GreedyAdversary(Adversary):
     """Tries to churn out everything — must be stopped by the budget."""
 

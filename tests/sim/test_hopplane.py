@@ -1,0 +1,83 @@
+"""Columnar hop plane: interning, batched sends, delivery grouping."""
+
+from __future__ import annotations
+
+from repro.sim.hopplane import HopPlane
+
+
+class Msg:
+    """Stand-in routed message (identity is what the plane interns on)."""
+
+
+def test_interns_one_row_per_logical_hop():
+    plane = HopPlane()
+    m = Msg()
+    assert plane.send(1, m, 0, [2, 3]) == 2
+    assert plane.send(4, m, 0, [3, 5]) == 2  # same (msg, step): same row
+    assert plane.send(4, m, 1, [2]) == 1  # next step: a new logical hop
+    frozen = plane.close_round()
+    assert len(frozen.msgs) == 2
+    assert frozen.copies() == 5
+    assert list(frozen.iter_edges()) == [(1, 2), (1, 3), (4, 3), (4, 5), (4, 2)]
+
+
+def test_send_batch_equals_individual_sends():
+    m1, m2 = Msg(), Msg()
+    one = HopPlane()
+    one.send(7, m1, 0, [1, 2])
+    one.send(7, m2, 3, [2])
+    one.send(7, m1, 0, [3])
+    a = one.close_round()
+
+    two = HopPlane()
+    assert two.send_batch(7, [(m1, 0, [1, 2]), (m2, 3, [2]), (m1, 0, [3])]) == 4
+    b = two.close_round()
+
+    assert a.steps == b.steps
+    assert a.srcs == b.srcs
+    assert a.send_rows == b.send_rows
+    assert a.lens == b.lens
+    assert a.flat == b.flat
+
+
+def test_empty_receiver_lists_are_skipped():
+    plane = HopPlane()
+    assert plane.send(1, Msg(), 0, []) == 0
+    assert plane.send_batch(1, [(Msg(), 0, [])]) == 0
+    assert plane.close_round() is None
+
+
+def test_deliver_groups_by_receiver_in_send_order():
+    plane = HopPlane()
+    m1, m2 = Msg(), Msg()
+    plane.send(1, m1, 0, [10, 11])
+    plane.send(2, m2, 0, [11, 10])
+    plane.send(3, m1, 0, [11])  # duplicate row for 11, kept (receiver dedups)
+    frozen = plane.close_round()
+    delivery = frozen.deliver(alive={10, 11})
+    assert delivery.total == 5
+    assert delivery.counts == {10: 2, 11: 3}
+    row_m1 = frozen.msgs.index(m1)
+    row_m2 = frozen.msgs.index(m2)
+    assert delivery.rows[10].tolist() == [row_m1, row_m2]
+    assert delivery.rows[11].tolist() == [row_m1, row_m2, row_m1]
+
+
+def test_deliver_drops_dead_receivers_but_counts_all_copies():
+    plane = HopPlane()
+    plane.send(1, Msg(), 0, [10, 99])
+    frozen = plane.close_round()
+    delivery = frozen.deliver(alive={10})
+    assert delivery.total == 2  # in-flight copies, for budget accounting
+    assert set(delivery.rows) == {10}
+
+
+def test_close_round_resets_interning():
+    plane = HopPlane()
+    m = Msg()
+    plane.send(1, m, 0, [2])
+    first = plane.close_round()
+    plane.send(1, m, 0, [3])
+    second = plane.close_round()
+    assert first.msgs is not second.msgs
+    assert second.copies() == 1
