@@ -1,0 +1,59 @@
+"""``repro.analysis.lint`` — the determinism & lateness linter.
+
+An AST-based static-analysis pass that machine-checks the simulator's two
+load-bearing invariants before a simulation ever runs:
+
+1. **Determinism** — a run is a pure function of its seed (no global RNG
+   state, wall clocks, hash-order iteration, ``id()`` keys, or environment
+   reads in the packages that feed the golden fingerprints);
+2. **Lateness** — adversary code can reach world state only through the
+   :class:`~repro.adversary.view.AdversaryView` choke point, and the
+   engine hands it nothing fresher.
+
+Run it as ``repro lint`` (see ``docs/ANALYSIS.md``), or from code::
+
+    from repro.analysis.lint import run_lint
+    report = run_lint(root=repo_root)   # defaults: src/repro, all rules
+    assert report.ok, report.format_text()
+
+Findings can be waived inline (``# repro: allow(<rule>): <why>``) or
+grandfathered in the committed ``lint-baseline.json``.
+"""
+
+from repro.analysis.lint.baseline import (
+    BASELINE_SCHEMA,
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    write_baseline,
+)
+from repro.analysis.lint.engine import (
+    LintContext,
+    LintError,
+    LintReport,
+    Rule,
+    SourceModule,
+    run_lint,
+)
+from repro.analysis.lint.findings import SEVERITIES, Finding
+from repro.analysis.lint.registry import ALL_RULES, resolve_rules, rule_table
+from repro.analysis.lint.waivers import Waiver, scan_directives
+
+__all__ = [
+    "ALL_RULES",
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "SEVERITIES",
+    "SourceModule",
+    "Waiver",
+    "resolve_rules",
+    "rule_table",
+    "run_lint",
+    "scan_directives",
+    "write_baseline",
+]

@@ -1,0 +1,366 @@
+"""Rule engine of the repro linter.
+
+The engine is deliberately boring: it parses every file once with
+:mod:`ast`, hands each :class:`SourceModule` to every applicable
+:class:`Rule`, matches inline waivers, applies the committed baseline, and
+returns a :class:`LintReport`.  All the judgement lives in the rules
+(:mod:`~repro.analysis.lint.rules_determinism`,
+:mod:`~repro.analysis.lint.rules_lateness`,
+:mod:`~repro.analysis.lint.rules_exports`,
+:mod:`~repro.analysis.lint.rules_waivers`).
+
+Rules see *syntax*, not types: they are heuristics tuned so the invariants
+they guard (bit-for-bit determinism; the adversary's lateness wall) cannot
+be broken *silently*.  A construction a rule cannot see (e.g. iterating a
+set received through a variable) is out of scope by design — the golden
+fingerprint tests remain the backstop.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.waivers import scan_directives
+
+__all__ = [
+    "LintError",
+    "SourceModule",
+    "LintContext",
+    "Rule",
+    "LintReport",
+    "run_lint",
+]
+
+#: Rules whose findings can never be waived inline (waiving the waiver
+#: checker would defeat the point).
+NON_WAIVABLE = frozenset({"waiver-justification", "unused-waiver", "parse-error"})
+
+
+class LintError(Exception):
+    """Invalid linter invocation (unknown rule, bad path, ...)."""
+
+
+def _derive_module(relpath: str) -> str:
+    """Dotted module name from a repo-relative path (``repro``-anchored)."""
+    parts = Path(relpath).parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    name = ".".join(parts)
+    if name.endswith(".py"):
+        name = name[: -len(".py")]
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+class SourceModule:
+    """One parsed file plus everything rules need to reason about it."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.waivers, override = scan_directives(self.lines)
+        self.module = override or _derive_module(relpath)
+        self._import_map: dict[str, str] | None = None
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> "SourceModule":
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(path, rel, path.read_text())
+
+    @property
+    def is_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    @property
+    def package(self) -> str:
+        """The package containing this module (itself, for ``__init__``)."""
+        if self.is_init:
+            return self.module
+        return self.module.rpartition(".")[0]
+
+    # -- name resolution ------------------------------------------------
+
+    @property
+    def import_map(self) -> dict[str, str]:
+        """Local name -> absolute dotted origin, from every import statement."""
+        if self._import_map is None:
+            mapping: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname:
+                            mapping[alias.asname] = alias.name
+                        else:
+                            head = alias.name.split(".")[0]
+                            mapping[head] = head
+                elif isinstance(node, ast.ImportFrom):
+                    origin = self.resolve_import_from(node)
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        mapping[local] = f"{origin}.{alias.name}" if origin else alias.name
+            self._import_map = mapping
+        return self._import_map
+
+    def resolve_import_from(self, node: ast.ImportFrom) -> str:
+        """Absolute dotted module a ``from ... import`` pulls from."""
+        if not node.level:
+            return node.module or ""
+        base = self.package.split(".") if self.package else []
+        if node.level > 1:
+            base = base[: len(base) - (node.level - 1)]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted name of a ``Name``/``Attribute`` chain, through import aliases."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.import_map.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+    def in_packages(self, prefixes: Iterable[str]) -> bool:
+        """Whether this module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+class LintContext:
+    """Cross-file services available to rules (sibling ``__all__`` lookups)."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._exports: dict[Path, list[str] | None] = {}
+
+    def module_exports(self, path: Path) -> list[str] | None:
+        """The literal ``__all__`` of a file, or ``None`` if absent/unreadable."""
+        path = path.resolve()
+        if path not in self._exports:
+            result: list[str] | None = None
+            try:
+                tree = ast.parse(path.read_text())
+            except (OSError, SyntaxError):
+                tree = None
+            if tree is not None:
+                for node in tree.body:
+                    if isinstance(node, ast.Assign) and any(
+                        isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets
+                    ):
+                        if isinstance(node.value, (ast.List, ast.Tuple)):
+                            elts = node.value.elts
+                            if all(
+                                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                                for e in elts
+                            ):
+                                result = [e.value for e in elts]
+            self._exports[path] = result
+        return self._exports[path]
+
+
+class Rule(abc.ABC):
+    """One named check.  Subclasses set the class attributes and ``check``."""
+
+    id: str = ""
+    code: str = ""
+    description: str = ""
+    fix_hint: str = ""
+    severity: str = "error"
+    #: Post-waiver rules run after findings have been matched to waivers
+    #: (needed by ``unused-waiver``).
+    post_waiver: bool = False
+
+    def applies_to(self, mod: SourceModule) -> bool:
+        return True
+
+    @abc.abstractmethod
+    def check(self, mod: SourceModule, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def finding(
+        self,
+        mod: SourceModule,
+        where: ast.AST | int,
+        message: str,
+        fix_hint: str | None = None,
+    ) -> Finding:
+        line = where if isinstance(where, int) else getattr(where, "lineno", 0)
+        return Finding(
+            path=mod.relpath,
+            line=line,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: Path
+    files: int
+    findings: list[Finding] = field(default_factory=list)
+    waived: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "files": self.files,
+            "counts": {
+                "active": len(self.findings),
+                "waived": len(self.waived),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [f.to_dict() for f in self.waived],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": self.stale_baseline,
+        }
+
+    def format_text(self) -> str:
+        out: list[str] = []
+        for f in self.findings:
+            out.append(f.format())
+            if f.fix_hint:
+                out.append(f"    fix: {f.fix_hint}")
+        for entry in self.stale_baseline:
+            out.append(
+                f"stale baseline entry: {entry['path']} [{entry['rule']}] "
+                "no longer matches anything — remove it"
+            )
+        out.append(
+            f"{self.files} file(s): {len(self.findings)} finding(s), "
+            f"{len(self.waived)} waived, {len(self.baselined)} baselined"
+        )
+        return "\n".join(out)
+
+
+def _collect_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if not p.exists():
+            raise LintError(f"no such path: {p}")
+        batch = [p] if p.is_file() else sorted(p.rglob("*.py"))
+        for f in batch:
+            if f.suffix == ".py":
+                f = f.resolve()
+                if f not in seen:
+                    seen.add(f)
+                    files.append(f)
+    return files
+
+
+def run_lint(
+    paths: Iterable[Path | str] | None = None,
+    *,
+    root: Path | str | None = None,
+    rules: Iterable[Rule] | None = None,
+    baseline: Path | str | Baseline | None = None,
+) -> LintReport:
+    """Run the linter and return a :class:`LintReport`.
+
+    ``paths`` defaults to ``<root>/src/repro``; ``root`` defaults to the
+    current directory.  ``baseline`` may be a path (missing file = empty
+    baseline), a loaded :class:`Baseline`, or ``None`` for no baseline.
+    """
+    if rules is None:
+        from repro.analysis.lint.registry import ALL_RULES
+
+        rules = ALL_RULES
+    rules = tuple(rules)
+    root = Path(root) if root is not None else Path.cwd()
+    root = root.resolve()
+    targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
+    files = _collect_files(targets)
+    ctx = LintContext(root)
+
+    pre = [r for r in rules if not r.post_waiver]
+    post = [r for r in rules if r.post_waiver]
+    active: list[Finding] = []
+    waived: list[Finding] = []
+    for path in files:
+        try:
+            mod = SourceModule.from_path(path, root)
+        except SyntaxError as exc:
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            active.append(
+                Finding(
+                    path=rel,
+                    line=exc.lineno or 0,
+                    rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        raw: list[Finding] = []
+        for rule in pre:
+            if rule.applies_to(mod):
+                raw.extend(rule.check(mod, ctx))
+        # Waiver matching: a justified waiver absorbs every finding of its
+        # rule on its target line.
+        live_waivers = [w for w in mod.waivers if w.justified]
+        for f in raw:
+            matched = False
+            if f.rule not in NON_WAIVABLE:
+                for w in live_waivers:
+                    if w.rule == f.rule and w.target_line == f.line:
+                        w.used = True
+                        matched = True
+            (waived if matched else active).append(f)
+        for rule in post:
+            if rule.applies_to(mod):
+                active.extend(rule.check(mod, ctx))
+
+    active.sort()
+    waived.sort()
+    if baseline is None:
+        base = Baseline([])
+    elif isinstance(baseline, Baseline):
+        base = baseline
+    else:
+        base = Baseline.load(baseline)
+    final, baselined, stale = base.partition(active)
+    return LintReport(
+        root=root,
+        files=len(files),
+        findings=final,
+        waived=waived,
+        baselined=baselined,
+        stale_baseline=stale,
+    )
+

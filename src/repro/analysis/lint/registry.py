@@ -1,0 +1,76 @@
+"""Rule registry: every shipped rule, and spec parsing for ``--rules``."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.lint.engine import LintError, Rule
+from repro.analysis.lint.rules_determinism import (
+    EnvReadRule,
+    GlobalRandomRule,
+    IdOrderingRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+from repro.analysis.lint.rules_exports import AllDriftRule
+from repro.analysis.lint.rules_lateness import (
+    AdversaryImportRule,
+    LiveStateRule,
+    ViewInternalsRule,
+)
+from repro.analysis.lint.rules_waivers import UnusedWaiverRule, WaiverJustificationRule
+
+__all__ = ["ALL_RULES", "resolve_rules", "rule_table"]
+
+#: Every shipped rule, families in order: determinism, lateness, exports,
+#: waiver hygiene.
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalRandomRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    IdOrderingRule(),
+    EnvReadRule(),
+    AdversaryImportRule(),
+    ViewInternalsRule(),
+    LiveStateRule(),
+    AllDriftRule(),
+    WaiverJustificationRule(),
+    UnusedWaiverRule(),
+)
+
+
+def resolve_rules(spec: str | Iterable[str] | None) -> tuple[Rule, ...]:
+    """Rules selected by a comma/space separated list of ids or codes.
+
+    ``None`` or an empty spec selects every rule.  Unknown entries raise
+    :class:`LintError` listing what is available.
+    """
+    if spec is None:
+        return ALL_RULES
+    if isinstance(spec, str):
+        wanted = [s for chunk in spec.split(",") for s in chunk.split()]
+    else:
+        wanted = list(spec)
+    wanted = [w.strip().lower() for w in wanted if w.strip()]
+    if not wanted:
+        return ALL_RULES
+    by_key = {r.id: r for r in ALL_RULES}
+    by_key.update({r.code.lower(): r for r in ALL_RULES})
+    selected: list[Rule] = []
+    for key in wanted:
+        rule = by_key.get(key)
+        if rule is None:
+            known = ", ".join(f"{r.code}/{r.id}" for r in ALL_RULES)
+            raise LintError(f"unknown rule {key!r}; known rules: {known}")
+        if rule not in selected:
+            selected.append(rule)
+    return tuple(selected)
+
+
+def rule_table() -> str:
+    """A plain-text table of every rule (for ``repro lint --list-rules``)."""
+    width = max(len(r.id) for r in ALL_RULES)
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code:>4}  {rule.id:<{width}}  {rule.description}")
+    return "\n".join(lines)

@@ -26,6 +26,12 @@ Commands
     network size) from ``benchmarks/results/BENCH_scaling.json``; refresh
     it with ``pytest benchmarks/bench_scaling.py --benchmark-only --full``
     under ``REPRO_BENCH_RECORD=1``.
+``lint [--format text|json] [--rules R,...] [--paths P ...]``
+    Run the determinism & lateness linter (see ``docs/ANALYSIS.md``) over
+    ``src/repro``; exits non-zero on any finding that is neither waived
+    inline nor grandfathered in the committed ``lint-baseline.json``.
+    ``--list-rules`` prints the rule table, ``--update-baseline`` rewrites
+    the baseline from the current findings.
 """
 
 from __future__ import annotations
@@ -198,6 +204,52 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.lint import (
+        DEFAULT_BASELINE_NAME,
+        LintError,
+        resolve_rules,
+        rule_table,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print(rule_table())
+        return 0
+    # Repo root: the parent of src/ when running from a checkout; fall back
+    # to the current directory for an installed package.
+    pkg = Path(repro.__file__).resolve().parent
+    root = pkg.parents[1] if pkg.parent.name == "src" else Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    try:
+        rules = resolve_rules(args.rules)
+        if args.update_baseline:
+            report = run_lint(paths, root=root, rules=rules, baseline=None)
+            write_baseline(baseline_path, report.findings)
+            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
+            return 0
+        report = run_lint(
+            paths,
+            root=root,
+            rules=rules,
+            baseline=None if args.no_baseline else baseline_path,
+        )
+    except LintError as exc:
+        print(f"lint: {exc}")
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.c is not None:
@@ -271,6 +323,43 @@ def main(argv: list[str] | None = None) -> int:
         help="BENCH_scaling.json path (default: %(default)s)",
     )
 
+    p_lint = sub.add_parser(
+        "lint", help="determinism & lateness linter (docs/ANALYSIS.md)"
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="output format"
+    )
+    p_lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="R[,R...]",
+        help="only run these rules (ids like `wallclock` or codes like D2)",
+    )
+    p_lint.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: lint-baseline.json at the repo root)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    p_lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
     p_par = sub.add_parser("params", help="show derived parameters for n")
     p_par.add_argument("n", type=int)
     p_par.add_argument("--c", type=float, default=None)
@@ -287,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
         "scale": _cmd_scale,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -2,7 +2,14 @@
 
 from repro.core.bootstrap import prime_initial_overlay
 from repro.core.construction import (
+    AnchorReply,
+    AnchorRequest,
     ConstructionNode,
+    Find,
+    FoundReply,
+    RangeReply,
+    RangeRequest,
+    SelfAnnounce,
     build_initial_overlay_distributed,
     construction_schedule,
 )
@@ -19,12 +26,16 @@ from repro.core.node import MaintenanceNode, Phase
 from repro.core.runner import MaintenanceSimulation, OverlayAudit, ProbeReport
 
 __all__ = [
+    "AnchorReply",
+    "AnchorRequest",
     "ConnectMsg",
     "ConstructionNode",
     "DHTNode",
     "DhtResponse",
     "StashTransfer",
     "CreateBatch",
+    "Find",
+    "FoundReply",
     "JoinBatch",
     "JoinRecord",
     "MaintenanceNode",
@@ -32,6 +43,9 @@ __all__ = [
     "OverlayAudit",
     "Phase",
     "ProbeReport",
+    "RangeReply",
+    "RangeRequest",
+    "SelfAnnounce",
     "TokenGrant",
     "TokenMsg",
     "build_initial_overlay_distributed",

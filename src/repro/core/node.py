@@ -345,6 +345,10 @@ class MaintenanceNode(NodeProtocol):
             if msg.__class__ is Hop:
                 m = msg.msg
                 k = msg.step
+                # repro: allow(id-ordering): identity dedup only — the id value
+                # is a set-membership key, never ordered or emitted; duplicate
+                # detection is by object identity by design (same Hop object
+                # fanned out to several receivers).
                 key = (id(m), k)
                 if key in seen_hops:
                     continue
@@ -435,6 +439,10 @@ class MaintenanceNode(NodeProtocol):
         short TTL window keeps small-n runs supplied without changing what
         the adversary can learn.)
         """
+        # repro: allow(unordered-iteration): int-only set — CPython int hashing
+        # is not randomized, so the materialised order is a deterministic
+        # function of the token list; sorting here would reorder the shuffle
+        # input and change the committed golden fingerprints.
         owners = list({owner for _, owner in self.tokens if owner != self.id})
         if not owners:
             return []
@@ -714,6 +722,9 @@ class MaintenanceNode(NodeProtocol):
                     continue
                 nd = len(dsts)
                 if nd:
+                    # repro: allow(id-ordering): identity interning only — rows
+                    # are numbered by first-append order; the id value never
+                    # orders anything (mirrors HopPlane.send semantics).
                     key = (id(msg) << 7) | next_ks[row]
                     rw = reg_get(key)
                     if rw is None:
@@ -956,6 +967,9 @@ class MaintenanceNode(NodeProtocol):
                     for _ in range(r):
                         j = ai + int(rnd() * size)
                         picks.append(ids_list[j - n] if j >= n else ids_list[j])
+                # repro: allow(id-ordering): identity interning only — rows are
+                # numbered by first-append order; the id value never orders
+                # anything (mirrors HopPlane.send semantics).
                 key = (id(msg) << 7) | steps[i]
                 rw = reg_get(key)
                 if rw is None:

@@ -25,9 +25,13 @@ a monitor never changes the run it observes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.connectivity import components
 from repro.config import ProtocolParams
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Engine
 
 __all__ = ["DegradationEvent", "HealthMonitor"]
 
@@ -92,7 +96,7 @@ class HealthMonitor:
     # The per-round audit (called by the engine after metrics)
     # ------------------------------------------------------------------
 
-    def observe(self, engine, t: int) -> tuple[DegradationEvent, ...]:
+    def observe(self, engine: Engine, t: int) -> tuple[DegradationEvent, ...]:
         """Audit round ``t`` and return (and record) any new events."""
         if t % self.every:
             return ()
@@ -109,7 +113,7 @@ class HealthMonitor:
     # Individual audits
     # ------------------------------------------------------------------
 
-    def _overlay_snapshot(self, engine) -> dict[int, tuple[float, int, dict]]:
+    def _overlay_snapshot(self, engine: Engine) -> dict[int, tuple[float, int, dict]]:
         """``{id: (pos, epoch, d_nbrs)}`` of current-epoch established nodes."""
         nodes: dict[int, tuple[float, int, dict]] = {}
         for v in engine.alive:
@@ -178,7 +182,7 @@ class HealthMonitor:
             )
         ]
 
-    def _audit_connectivity(self, engine, t: int) -> list[DegradationEvent]:
+    def _audit_connectivity(self, engine: Engine, t: int) -> list[DegradationEvent]:
         mature = {
             v
             for v in engine.alive

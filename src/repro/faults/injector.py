@@ -73,7 +73,9 @@ class FaultInjector:
     # PRF coins
     # ------------------------------------------------------------------
 
-    def _coins3(self, base, a: int, b: int, c: int, d: int, e: int):
+    def _coins3(
+        self, base: "hashlib.blake2b", a: int, b: int, c: int, d: int, e: int
+    ) -> tuple[float, float, float]:
         """Three uniform [0, 1) coins from the seed and the packed scope."""
         h = base.copy()
         h.update(struct.pack("<qqqqq", a, b, c, d, e))

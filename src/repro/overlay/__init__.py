@@ -2,6 +2,7 @@
 
 from repro.overlay.chordswarm import ChordSwarmGraph, chord_finger_arcs, chord_trajectory
 from repro.overlay.estimation import (
+    all_node_estimates,
     estimate_lambda,
     local_size_estimate,
     median_size_estimate,
@@ -24,6 +25,7 @@ __all__ = [
     "LDSGraph",
     "PositionIndex",
     "SwarmStats",
+    "all_node_estimates",
     "audit_goodness",
     "build_lds",
     "chord_finger_arcs",

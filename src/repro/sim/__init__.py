@@ -9,14 +9,17 @@ from repro.sim.engine import (
     RoundReport,
 )
 from repro.sim.identity import Lifecycle, NodeRecord
-from repro.sim.metrics import MetricsCollector, RoundMetrics
-from repro.sim.network import Inbox, Network
-from repro.sim.profile import PhaseProfiler, PhaseTimings
+from repro.sim.metrics import FaultRoundStats, MetricsCollector, RoundMetrics
+from repro.sim.network import EdgeLog, FaultHook, Inbox, Network
+from repro.sim.profile import PHASES, PhaseProfiler, PhaseTimings
 from repro.sim.trace import GraphTrace
 
 __all__ = [
+    "EdgeLog",
     "Engine",
     "EngineServices",
+    "FaultHook",
+    "FaultRoundStats",
     "GraphTrace",
     "Inbox",
     "JoinNotice",
@@ -26,6 +29,7 @@ __all__ = [
     "NodeContext",
     "NodeProtocol",
     "NodeRecord",
+    "PHASES",
     "PhaseProfiler",
     "PhaseTimings",
     "RoundMetrics",

@@ -172,6 +172,8 @@ class HopPlane:
         # Pack (identity, step) into one int: cheaper to hash than a tuple.
         # Steps are bounded by final_step = 2*lam + 2 << 128, so the low
         # 7 bits never collide across message identities.
+        # repro: allow(id-ordering): identity interning only — rows are
+        # numbered by first-append order; the id value never orders anything.
         key = (id(msg) << 7) | step
         row = self._reg.get(key)
         if row is None:
@@ -207,6 +209,8 @@ class HopPlane:
             n = len(dsts)
             if n == 0:
                 continue
+            # repro: allow(id-ordering): identity interning only — rows are
+            # numbered by first-append order; the id value never orders anything.
             key = (id(msg) << 7) | step
             row = reg_get(key)
             if row is None:

@@ -99,6 +99,8 @@ def make_entry(
     """One schema-valid benchmark entry (RSS sampled at call time)."""
     entry = {
         "created": created
+        # repro: allow(wallclock): the timestamp is benchmark-history metadata
+        # recorded after a run; it never enters simulation state or fingerprints.
         or datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "n": int(n),
         "rounds": int(rounds),

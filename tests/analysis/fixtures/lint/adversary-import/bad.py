@@ -1,0 +1,9 @@
+# repro: module(repro.adversary.example)
+"""L1 bad: runtime imports give the adversary a channel to fresh state."""
+
+import repro.core.node
+from repro.sim.trace import GraphTrace
+
+
+def peek(trace: GraphTrace) -> object:
+    return repro.core.node.Phase, trace.horizon

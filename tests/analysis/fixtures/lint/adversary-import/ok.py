@@ -1,0 +1,11 @@
+# repro: module(repro.adversary.example)
+"""L1 ok: sim types are imported for annotations only."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.trace import GraphTrace
+
+
+def describe(trace: "GraphTrace") -> str:
+    return f"trace with horizon {trace.horizon}"

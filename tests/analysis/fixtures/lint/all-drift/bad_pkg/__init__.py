@@ -1,0 +1,11 @@
+# repro: module(repro.examplepkg)
+"""X1 bad: every flavour of __all__ drift at once.
+
+``hidden`` is imported but not in the child's __all__ (and missing from this
+package's __all__); the child's ``beta`` is not re-exported; ``ghost`` is
+advertised but bound nowhere.
+"""
+
+from .one import alpha, hidden
+
+__all__ = ["alpha", "ghost"]

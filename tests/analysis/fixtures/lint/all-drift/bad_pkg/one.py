@@ -1,0 +1,15 @@
+"""Child module with a declared public surface."""
+
+__all__ = ["alpha", "beta"]
+
+
+def alpha() -> int:
+    return 1
+
+
+def beta() -> int:
+    return 2
+
+
+def hidden() -> int:
+    return 3

@@ -1,0 +1,6 @@
+# repro: module(repro.examplepkg)
+"""X1 ok: the package re-exports exactly its child's __all__."""
+
+from .one import alpha, beta
+
+__all__ = ["alpha", "beta"]

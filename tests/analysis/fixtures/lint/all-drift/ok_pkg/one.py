@@ -1,0 +1,11 @@
+"""Child module with a declared public surface."""
+
+__all__ = ["alpha", "beta"]
+
+
+def alpha() -> int:
+    return 1
+
+
+def beta() -> int:
+    return 2

@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""D5 bad: ambient environment steering a simulation module."""
+
+import os
+from os import getenv
+
+
+def fanout() -> int:
+    return int(os.environ.get("REPRO_FANOUT", "3")) + int(getenv("REPRO_EXTRA") or 0)

@@ -1,0 +1,8 @@
+# repro: module(repro.config)
+"""D5 ok: repro.config is the sanctioned place to read the environment."""
+
+import os
+
+
+def record_opt_in() -> bool:
+    return os.environ.get("REPRO_BENCH_RECORD") == "1"

@@ -1,0 +1,11 @@
+# repro: module(repro.sim.example)
+"""D1 bad: process-global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    np.random.seed(7)
+    return random.random() + np.random.uniform()

@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""D1 ok: randomness flows through explicitly seeded Generator objects."""
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform())

@@ -1,0 +1,6 @@
+# repro: module(repro.sim.example)
+"""D4 bad: object addresses used as keys."""
+
+
+def register(seen: dict[int, object], msg: object) -> None:
+    seen[id(msg)] = msg

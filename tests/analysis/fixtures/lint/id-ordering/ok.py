@@ -1,0 +1,6 @@
+# repro: module(repro.sim.example)
+"""D4 ok: keys derive from stable protocol identifiers."""
+
+
+def dedup_key(node_id: int, seq: int) -> tuple[int, int]:
+    return (node_id, seq)

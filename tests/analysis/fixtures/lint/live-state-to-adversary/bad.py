@@ -1,0 +1,10 @@
+# repro: module(repro.sim.example)
+"""L3 bad: live state handed across the lateness wall."""
+
+from repro.adversary.view import AdversaryView
+
+
+class Driver:
+    def consult(self, t: int) -> object:
+        view = AdversaryView(t, self.trace, self.lifecycle)
+        return self.adversary.decide(view, self.trace, engine=self)

@@ -1,0 +1,16 @@
+# repro: module(repro.sim.example)
+"""L3 ok: the adversary is consulted with a lateness-clamped view only."""
+
+from repro.adversary.view import AdversaryView
+
+
+class Driver:
+    def consult(self, t: int) -> object:
+        view = AdversaryView(
+            t,
+            self.trace,
+            self.lifecycle,
+            topology_lateness=self.params.a,
+            state_lateness=self.params.b,
+        )
+        return self.adversary.decide(view)

@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""D3 bad: hash order leaks into execution order."""
+
+
+def leak(table: dict[str, int]) -> list[str]:
+    out = [k for k in table.keys()]
+    for v in {3, 1, 2}:
+        out.append(str(v))
+    return out

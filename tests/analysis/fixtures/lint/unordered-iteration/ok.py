@@ -1,0 +1,6 @@
+# repro: module(repro.sim.example)
+"""D3 ok: hash-ordered collections are sorted before iteration."""
+
+
+def ordered() -> list[int]:
+    return [v for v in sorted({3, 1, 2})]

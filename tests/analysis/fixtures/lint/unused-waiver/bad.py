@@ -1,0 +1,7 @@
+# repro: module(repro.sim.example)
+"""W2 bad: a stale waiver excusing nothing."""
+
+
+def tally(xs: list[int]) -> int:
+    # repro: allow(wallclock): stale — the clock read below was removed long ago.
+    return sum(xs)

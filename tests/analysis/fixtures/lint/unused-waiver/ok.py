@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""W2 ok: every justified waiver matches a real finding."""
+
+import time
+
+
+def measure() -> float:
+    # repro: allow(wallclock): profiler metadata; timings never reach the fingerprint.
+    return time.perf_counter()

@@ -1,0 +1,6 @@
+# repro: module(repro.adversary.example)
+"""L2 bad: spelunking past the lateness clamp."""
+
+
+def churn_targets(view) -> list[tuple[int, int]]:
+    return view._trace.edges_at(view._now)

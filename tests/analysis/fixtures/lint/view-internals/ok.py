@@ -1,0 +1,6 @@
+# repro: module(repro.adversary.example)
+"""L2 ok: world state reads go through the AdversaryView public API."""
+
+
+def churn_targets(view) -> list[int]:
+    return [v for v in view.alive() if view.age_of(v) > 2]

@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""W1 bad: a bare waiver is inert and reported."""
+
+import time
+
+
+def measure() -> float:
+    # repro: allow(wallclock)
+    return time.perf_counter()

@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""W1 ok: the waiver carries a justification (and matches a finding)."""
+
+import time
+
+
+def measure() -> float:
+    # repro: allow(wallclock): measurement metadata only; never enters sim state.
+    return time.perf_counter()

@@ -1,0 +1,9 @@
+# repro: module(repro.sim.example)
+"""D2 bad: wall-clock reads make a run depend on the host."""
+
+import time
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time() + perf_counter()

@@ -1,0 +1,6 @@
+# repro: module(repro.sim.example)
+"""D2 ok: all timing derives from the simulated round counter."""
+
+
+def elapsed_rounds(t0: int, t1: int) -> int:
+    return t1 - t0

@@ -1,0 +1,43 @@
+"""The linter gates the live tree: clean with the committed baseline."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import run_lint
+from repro.analysis.lint.registry import ALL_RULES
+from repro.cli import main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def test_live_tree_is_clean_under_committed_baseline():
+    report = run_lint([SRC], root=REPO_ROOT, baseline=BASELINE)
+    assert report.ok, "\n" + "\n".join(f.format() for f in report.findings)
+    # The baseline only ever shrinks: every committed entry still matches.
+    assert not report.stale_baseline, report.stale_baseline
+    # The committed waivers are all live (none went stale silently).
+    assert report.waived, "expected the documented inline waivers to be in use"
+
+
+def test_cli_gate_passes_on_live_tree():
+    assert main(["lint"]) == 0
+
+
+@pytest.mark.parametrize("rule_id", [r.id for r in ALL_RULES])
+def test_injected_bad_fixture_fails_the_gate(rule_id):
+    bad = FIXTURES / rule_id / "bad.py"
+    if not bad.exists():
+        bad = FIXTURES / rule_id / "bad_pkg"
+    report = run_lint([SRC, bad], root=REPO_ROOT, baseline=BASELINE)
+    assert not report.ok
+    assert any(f.rule == rule_id for f in report.findings)
+
+
+def test_injected_bad_fixture_fails_the_cli_gate():
+    bad = str(FIXTURES / "id-ordering" / "bad.py")
+    assert main(["lint", "--paths", bad, "--no-baseline"]) == 1
