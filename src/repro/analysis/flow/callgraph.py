@@ -1,0 +1,172 @@
+"""Project call graph: indexing functions and resolving call sites.
+
+The :class:`ProjectIndex` maps every module-level function, class method,
+and property under the analysed paths to a qualified name
+(``module.func`` / ``module.Class.method``), then resolves call
+expressions back to those names:
+
+* ``helper(x)`` — a module-local function, or one pulled in by any
+  ``import`` form (through the :class:`SourceModule` import map);
+* ``pkg.mod.helper(x)`` — a dotted chain through an imported module;
+* ``self.method(x)`` / ``cls.method(x)`` — a method of the *enclosing*
+  class (single dispatch on the static class; inherited methods are
+  resolved through project-local base classes by name);
+* ``self.attr`` — when ``attr`` is a ``@property`` of the enclosing
+  class, the attribute *load* resolves to the property function.
+
+Anything else (calls on arbitrary objects, builtins, third-party code)
+is deliberately unresolved: the abstract interpreter falls back to
+worst-case propagation for those.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.lint.engine import SourceModule
+
+__all__ = ["FunctionInfo", "ProjectIndex"]
+
+
+def _is_property(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in node.decorator_list:
+        name = deco.id if isinstance(deco, ast.Name) else getattr(deco, "attr", None)
+        if name in ("property", "cached_property"):
+            return True
+    return False
+
+
+@dataclass
+class FunctionInfo:
+    """One analysable function with everything call resolution needs."""
+
+    qname: str
+    module: "SourceModule"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None
+    is_property: bool
+    #: Parameter names in call order (``self``/``cls`` included for methods).
+    params: tuple = ()
+    #: Parameter defaults, aligned to the *tail* of ``params``.
+    defaults: tuple = ()
+
+    def __post_init__(self) -> None:
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        self.params = tuple(names)
+        self.defaults = tuple(a.defaults) + tuple(
+            d for d in a.kw_defaults if d is not None
+        )
+
+    def param_index(self, name: str) -> int | None:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+class ProjectIndex:
+    """Function/method/property index over a set of parsed modules."""
+
+    def __init__(self, modules: list) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        #: ``(module, class) -> base class names`` for inherited-method lookup.
+        self._bases: dict[tuple, tuple] = {}
+        for mod in modules:
+            self._index_module(mod)
+
+    def _index_module(self, mod: "SourceModule") -> None:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add(mod, node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                bases = tuple(
+                    b for b in (mod.resolve(base) for base in node.bases) if b
+                )
+                self._bases[(mod.module, node.name)] = bases
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add(mod, child, cls=node.name)
+
+    def _add(
+        self,
+        mod: "SourceModule",
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+    ) -> None:
+        qname = f"{mod.module}.{cls}.{node.name}" if cls else f"{mod.module}.{node.name}"
+        self.functions[qname] = FunctionInfo(
+            qname=qname, module=mod, node=node, cls=cls, is_property=_is_property(node)
+        )
+
+    # -- resolution -----------------------------------------------------
+
+    def _method(self, module: str, cls: str, name: str) -> FunctionInfo | None:
+        """A method on ``module.cls``, walking project-local base classes."""
+        seen: set[tuple] = set()
+        stack = [(module, cls)]
+        while stack:
+            key = stack.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            info = self.functions.get(f"{key[0]}.{key[1]}.{name}")
+            if info is not None:
+                return info
+            for base in self._bases.get(key, ()):
+                head, _, tail = base.rpartition(".")
+                if head and tail:
+                    stack.append((head, tail))
+        return None
+
+    def resolve_call(
+        self, mod: "SourceModule", cls: str | None, func: ast.expr
+    ) -> tuple[FunctionInfo, bool] | None:
+        """``(callee, is_bound)`` for a call's ``func`` expression, if known.
+
+        ``is_bound`` means the receiver is implicit (``self.m(x)``), so the
+        call's first positional argument maps to the callee's parameter 1.
+        """
+        if isinstance(func, ast.Name):
+            info = self.functions.get(f"{mod.module}.{func.id}")
+            if info is not None:
+                return info, False
+            dotted = mod.import_map.get(func.id)
+            if dotted is not None:
+                info = self.functions.get(dotted)
+                if info is not None:
+                    return info, False
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls") and cls:
+                info = self._method(mod.module, cls, func.attr)
+                if info is not None:
+                    return info, True
+                return None
+            dotted = mod.resolve(func)
+            if dotted is not None:
+                info = self.functions.get(dotted)
+                if info is not None:
+                    # Resolved through a module/class path: unbound spelling.
+                    return info, False
+        return None
+
+    def resolve_property(
+        self, mod: "SourceModule", cls: str | None, attr: str
+    ) -> FunctionInfo | None:
+        """The property function behind ``self.<attr>`` in class ``cls``."""
+        if cls is None:
+            return None
+        info = self._method(mod.module, cls, attr)
+        if info is not None and info.is_property:
+            return info
+        return None

@@ -1,0 +1,242 @@
+"""The flow engine: orchestrate parsing, summaries, policies, reporting.
+
+``run_flow`` is the sibling of :func:`repro.analysis.lint.run_lint` and
+shares its machinery deliberately: the same :class:`SourceModule`
+construction (through a :class:`~repro.analysis.source_cache.SourceCache`,
+so a combined lint+flow run parses each file once), the same
+``# repro: allow(<rule>): <why>`` inline waivers, the same
+``(path, rule, message)``-multiset baseline format, and the same
+:class:`~repro.analysis.lint.findings.Finding` value object — which is
+what lets one SARIF emitter serve both tools.
+
+The run itself has three phases:
+
+1. parse every file and index all functions (:class:`ProjectIndex`);
+2. iterate :class:`FunctionAnalyzer` over every function until the
+   summaries reach a fixpoint (bounded by ``max_depth`` passes — the
+   maximum call-chain length taint is tracked through);
+3. one reporting pass that collects findings, matches waivers, audits
+   stale ``flow-*`` waivers, and applies the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.flow.callgraph import ProjectIndex
+from repro.analysis.flow.policies import (
+    ALL_POLICIES,
+    FlowError,
+    Policy,
+)
+from repro.analysis.flow.summaries import FunctionAnalyzer, Summary
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.waivers import FLOW_RULE_PREFIX
+from repro.analysis.source_cache import SourceCache, collect_py_files
+
+__all__ = [
+    "DEFAULT_FLOW_BASELINE_NAME",
+    "DEFAULT_MAX_DEPTH",
+    "FlowReport",
+    "run_flow",
+]
+
+#: File name looked up at the repository root by default.
+DEFAULT_FLOW_BASELINE_NAME = "flow-baseline.json"
+
+#: Default bound on interprocedural propagation (call-chain length).
+DEFAULT_MAX_DEPTH = 8
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow run produced."""
+
+    root: Path
+    files: int
+    functions: int
+    passes: int
+    policies: tuple
+    findings: list = field(default_factory=list)
+    waived: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "files": self.files,
+            "functions": self.functions,
+            "passes": self.passes,
+            "policies": [p.id for p in self.policies],
+            "counts": {
+                "active": len(self.findings),
+                "waived": len(self.waived),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [f.to_dict() for f in self.waived],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": self.stale_baseline,
+        }
+
+    def format_text(self) -> str:
+        out: list[str] = []
+        for f in self.findings:
+            out.append(f.format())
+            if f.fix_hint:
+                out.append(f"    fix: {f.fix_hint}")
+        for entry in self.stale_baseline:
+            out.append(
+                f"stale baseline entry: {entry['path']} [{entry['rule']}] "
+                "no longer matches anything — remove it"
+            )
+        out.append(
+            f"{self.files} file(s), {self.functions} function(s), "
+            f"{self.passes} pass(es): {len(self.findings)} finding(s), "
+            f"{len(self.waived)} waived, {len(self.baselined)} baselined"
+        )
+        return "\n".join(out)
+
+
+def run_flow(
+    paths: Iterable[Path | str] | None = None,
+    *,
+    root: Path | str | None = None,
+    policies: Iterable[Policy] | None = None,
+    baseline: Path | str | Baseline | None = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    cache: SourceCache | None = None,
+) -> FlowReport:
+    """Run the information-flow analysis and return a :class:`FlowReport`.
+
+    Arguments mirror :func:`~repro.analysis.lint.run_lint`; ``max_depth``
+    bounds the number of summary-propagation passes, i.e. the longest
+    helper chain taint is tracked through.  Pass the same ``cache`` to
+    both tools to parse each file once.
+    """
+    policies = tuple(policies) if policies is not None else ALL_POLICIES
+    if max_depth < 1:
+        raise FlowError("max_depth must be at least 1")
+    root = Path(root) if root is not None else Path.cwd()
+    root = root.resolve()
+    targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
+    try:
+        files = collect_py_files(targets)
+    except FileNotFoundError as exc:
+        raise FlowError(str(exc)) from None
+    if cache is None:
+        cache = SourceCache(root)
+
+    modules = []
+    active: list[Finding] = []
+    for path in files:
+        try:
+            modules.append(cache.module(path))
+        except SyntaxError as exc:
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            active.append(
+                Finding(
+                    path=rel,
+                    line=exc.lineno or 0,
+                    rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+
+    index = ProjectIndex(modules)
+    order = sorted(index.functions)
+
+    # Phase 2: summaries to a fixpoint (or the depth bound).
+    summaries: dict[str, Summary] = {}
+    passes = 0
+    for _ in range(max_depth):
+        passes += 1
+        changed = False
+        for qname in order:
+            analyzer = FunctionAnalyzer(
+                index, summaries, index.functions[qname], policies, collect=False
+            )
+            summary = analyzer.run()
+            if summaries.get(qname) != summary:
+                summaries[qname] = summary
+                changed = True
+        if not changed:
+            break
+
+    # Phase 3: reporting pass with converged summaries.
+    raw_by_module: dict[str, list[Finding]] = {mod.relpath: [] for mod in modules}
+    for qname in order:
+        analyzer = FunctionAnalyzer(
+            index, summaries, index.functions[qname], policies, collect=True
+        )
+        analyzer.run()
+        raw_by_module[analyzer.relpath].extend(analyzer.findings)
+
+    policy_ids = {p.id for p in policies}
+    waived: list[Finding] = []
+    for mod in modules:
+        raw = raw_by_module[mod.relpath]
+        flow_waivers = [
+            w for w in mod.waivers if w.rule.startswith(FLOW_RULE_PREFIX)
+        ]
+        for w in flow_waivers:
+            w.used = False
+        live = [w for w in flow_waivers if w.justified]
+        for f in raw:
+            matched = False
+            for w in live:
+                if w.rule == f.rule and w.target_line == f.line:
+                    w.used = True
+                    matched = True
+            (waived if matched else active).append(f)
+        # Stale flow waivers are audited here (the linter's W2 skips them:
+        # only this engine knows which flow findings exist).
+        for w in live:
+            if not w.used and (w.rule in policy_ids or policies == ALL_POLICIES):
+                active.append(
+                    Finding(
+                        path=mod.relpath,
+                        line=w.comment_line,
+                        rule="unused-waiver",
+                        message=(
+                            f"waiver for `{w.rule}` matches no flow finding "
+                            f"(target line {w.target_line})"
+                        ),
+                        fix_hint="delete the waiver comment "
+                        "(or move it next to the code it excuses)",
+                    )
+                )
+
+    active.sort()
+    waived.sort()
+    if baseline is None:
+        base = Baseline([])
+    elif isinstance(baseline, Baseline):
+        base = baseline
+    else:
+        base = Baseline.load(baseline)
+    final, baselined, stale = base.partition(active)
+    return FlowReport(
+        root=root,
+        files=len(files),
+        functions=len(index.functions),
+        passes=passes,
+        policies=policies,
+        findings=final,
+        waived=waived,
+        baselined=baselined,
+        stale_baseline=stale,
+    )

@@ -1,0 +1,70 @@
+"""The taint model of the flow analysis.
+
+A *tag* is one unit of taint: a label naming the kind of information
+(``live-state``, ``wallclock``, ``env``, ``global-rng``) plus the source
+location and a human-readable description of where it entered the
+program.  Tags travel through the abstract interpreter as frozen sets, so
+every finding can say exactly which source reached which sink.
+
+Inside a function body, parameters carry *placeholder* tags (label
+``param``) whose detail is the parameter index.  When a call site applies
+a callee's summary, placeholder tags are substituted by the taints of the
+actual arguments — that substitution is the whole interprocedural story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PARAM_LABEL",
+    "Tag",
+    "Taint",
+    "EMPTY",
+    "param_tag",
+    "is_param",
+    "param_index",
+    "real_tags",
+    "labels_of",
+]
+
+#: Label of the placeholder tags that stand for "whatever taint the
+#: caller's argument carries".
+PARAM_LABEL = "param"
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """One unit of taint: a label plus the provenance of its source."""
+
+    label: str
+    detail: str
+    path: str
+    line: int
+
+
+Taint = frozenset  # of Tag
+EMPTY: Taint = frozenset()
+
+
+def param_tag(index: int) -> Tag:
+    """The placeholder tag for parameter ``index`` of the current function."""
+    return Tag(PARAM_LABEL, str(index), "", 0)
+
+
+def is_param(tag: Tag) -> bool:
+    return tag.label == PARAM_LABEL
+
+
+def param_index(tag: Tag) -> int:
+    return int(tag.detail)
+
+
+def real_tags(taint: Taint) -> list[Tag]:
+    """The non-placeholder tags of a taint set, in deterministic order."""
+    return sorted(t for t in taint if not is_param(t))
+
+
+def labels_of(taint: Taint) -> frozenset:
+    """The set of labels present in ``taint`` (placeholders included)."""
+    return frozenset(t.label for t in taint)

@@ -35,14 +35,16 @@ from repro.analysis.lint.engine import (
     run_lint,
 )
 from repro.analysis.lint.findings import SEVERITIES, Finding
+from repro.analysis.lint.fix import fix_unused_waivers
 from repro.analysis.lint.registry import ALL_RULES, resolve_rules, rule_table
-from repro.analysis.lint.waivers import Waiver, scan_directives
+from repro.analysis.lint.waivers import FLOW_RULE_PREFIX, Waiver, scan_directives
 
 __all__ = [
     "ALL_RULES",
     "BASELINE_SCHEMA",
     "Baseline",
     "DEFAULT_BASELINE_NAME",
+    "FLOW_RULE_PREFIX",
     "Finding",
     "LintContext",
     "LintError",
@@ -51,6 +53,7 @@ __all__ = [
     "SEVERITIES",
     "SourceModule",
     "Waiver",
+    "fix_unused_waivers",
     "resolve_rules",
     "rule_table",
     "run_lint",

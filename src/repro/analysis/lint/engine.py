@@ -27,6 +27,7 @@ from typing import Iterable, Iterator
 from repro.analysis.lint.baseline import Baseline
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.waivers import scan_directives
+from repro.analysis.source_cache import SourceCache, collect_py_files
 
 __all__ = [
     "LintError",
@@ -146,10 +147,15 @@ class SourceModule:
 
 
 class LintContext:
-    """Cross-file services available to rules (sibling ``__all__`` lookups)."""
+    """Cross-file services available to rules (sibling ``__all__`` lookups).
 
-    def __init__(self, root: Path) -> None:
+    Lookups go through a :class:`SourceCache`, so files the main lint loop
+    already parsed are never parsed a second time by a rule pass.
+    """
+
+    def __init__(self, root: Path, cache: SourceCache | None = None) -> None:
         self.root = root
+        self.cache = cache if cache is not None else SourceCache(root)
         self._exports: dict[Path, list[str] | None] = {}
 
     def module_exports(self, path: Path) -> list[str] | None:
@@ -157,12 +163,9 @@ class LintContext:
         path = path.resolve()
         if path not in self._exports:
             result: list[str] | None = None
-            try:
-                tree = ast.parse(path.read_text())
-            except (OSError, SyntaxError):
-                tree = None
-            if tree is not None:
-                for node in tree.body:
+            mod = self.cache.try_module(path)
+            if mod is not None:
+                for node in mod.tree.body:
                     if isinstance(node, ast.Assign) and any(
                         isinstance(t, ast.Name) and t.id == "__all__"
                         for t in node.targets
@@ -266,20 +269,10 @@ class LintReport:
 
 
 def _collect_files(paths: Iterable[Path]) -> list[Path]:
-    files: list[Path] = []
-    seen: set[Path] = set()
-    for p in paths:
-        p = Path(p)
-        if not p.exists():
-            raise LintError(f"no such path: {p}")
-        batch = [p] if p.is_file() else sorted(p.rglob("*.py"))
-        for f in batch:
-            if f.suffix == ".py":
-                f = f.resolve()
-                if f not in seen:
-                    seen.add(f)
-                    files.append(f)
-    return files
+    try:
+        return collect_py_files(paths)
+    except FileNotFoundError as exc:
+        raise LintError(str(exc)) from None
 
 
 def run_lint(
@@ -288,12 +281,16 @@ def run_lint(
     root: Path | str | None = None,
     rules: Iterable[Rule] | None = None,
     baseline: Path | str | Baseline | None = None,
+    cache: SourceCache | None = None,
 ) -> LintReport:
     """Run the linter and return a :class:`LintReport`.
 
     ``paths`` defaults to ``<root>/src/repro``; ``root`` defaults to the
     current directory.  ``baseline`` may be a path (missing file = empty
     baseline), a loaded :class:`Baseline`, or ``None`` for no baseline.
+    ``cache`` is an optional shared :class:`SourceCache` — pass the same
+    instance to :func:`repro.analysis.flow.run_flow` and each file is
+    parsed once for both tools.
     """
     if rules is None:
         from repro.analysis.lint.registry import ALL_RULES
@@ -304,7 +301,9 @@ def run_lint(
     root = root.resolve()
     targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
     files = _collect_files(targets)
-    ctx = LintContext(root)
+    if cache is None:
+        cache = SourceCache(root)
+    ctx = LintContext(root, cache)
 
     pre = [r for r in rules if not r.post_waiver]
     post = [r for r in rules if r.post_waiver]
@@ -312,7 +311,7 @@ def run_lint(
     waived: list[Finding] = []
     for path in files:
         try:
-            mod = SourceModule.from_path(path, root)
+            mod = cache.module(path)
         except SyntaxError as exc:
             try:
                 rel = path.relative_to(root).as_posix()
@@ -332,7 +331,10 @@ def run_lint(
             if rule.applies_to(mod):
                 raw.extend(rule.check(mod, ctx))
         # Waiver matching: a justified waiver absorbs every finding of its
-        # rule on its target line.
+        # rule on its target line.  Modules can come from a shared cache, so
+        # the mutable `used` flags are reset for this run.
+        for w in mod.waivers:
+            w.used = False
         live_waivers = [w for w in mod.waivers if w.justified]
         for f in raw:
             matched = False

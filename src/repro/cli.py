@@ -26,12 +26,19 @@ Commands
     network size) from ``benchmarks/results/BENCH_scaling.json``; refresh
     it with ``pytest benchmarks/bench_scaling.py --benchmark-only --full``
     under ``REPRO_BENCH_RECORD=1``.
-``lint [--format text|json] [--rules R,...] [--paths P ...]``
+``lint [--format text|json|sarif] [--rules R,...] [--paths P ...] [--fix]``
     Run the determinism & lateness linter (see ``docs/ANALYSIS.md``) over
     ``src/repro``; exits non-zero on any finding that is neither waived
     inline nor grandfathered in the committed ``lint-baseline.json``.
     ``--list-rules`` prints the rule table, ``--update-baseline`` rewrites
-    the baseline from the current findings.
+    the baseline from the current findings, ``--fix`` deletes the stale
+    waiver comments W2 reports before linting.
+``flow [--format text|json|sarif] [--policies F,...] [--max-depth N]``
+    Run the interprocedural information-flow analysis (policies F1
+    lateness / F2 determinism, see ``docs/ANALYSIS.md``) over
+    ``src/repro``; exits non-zero on any finding that is neither waived
+    (``# repro: allow(flow-...): why``) nor in ``flow-baseline.json``.
+    ``--list-policies`` prints the policy table.
 """
 
 from __future__ import annotations
@@ -204,14 +211,24 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _repo_root():
+    """The checkout root (parent of ``src/``), or the current directory."""
+    from pathlib import Path
+
+    import repro
+
+    pkg = Path(repro.__file__).resolve().parent
+    return pkg.parents[1] if pkg.parent.name == "src" else Path.cwd()
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    import repro
     from repro.analysis.lint import (
         DEFAULT_BASELINE_NAME,
         LintError,
+        fix_unused_waivers,
         resolve_rules,
         rule_table,
         run_lint,
@@ -221,14 +238,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(rule_table())
         return 0
-    # Repo root: the parent of src/ when running from a checkout; fall back
-    # to the current directory for an installed package.
-    pkg = Path(repro.__file__).resolve().parent
-    root = pkg.parents[1] if pkg.parent.name == "src" else Path.cwd()
+    root = _repo_root()
     paths = [Path(p) for p in args.paths] if args.paths else None
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
     try:
         rules = resolve_rules(args.rules)
+        if args.fix:
+            fixed = fix_unused_waivers(paths, root=root, rules=rules)
+            for relpath, count in sorted(fixed.items()):
+                print(f"fixed {relpath}: removed {count} stale waiver(s)")
+            if not fixed:
+                print("nothing to fix: no stale waivers")
         if args.update_baseline:
             report = run_lint(paths, root=root, rules=rules, baseline=None)
             write_baseline(baseline_path, report.findings)
@@ -245,6 +265,76 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_report
+
+        meta = {
+            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
+            for r in rules
+        }
+        doc = sarif_report(
+            report.findings, tool_name="repro-lint", rule_meta=meta, root=root
+        )
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.flow import (
+        DEFAULT_FLOW_BASELINE_NAME,
+        FlowError,
+        policy_table,
+        resolve_policies,
+        run_flow,
+    )
+    from repro.analysis.lint import write_baseline
+
+    if args.list_policies:
+        print(policy_table())
+        return 0
+    root = _repo_root()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_FLOW_BASELINE_NAME
+    )
+    try:
+        policies = resolve_policies(args.policies)
+        if args.update_baseline:
+            report = run_flow(
+                paths, root=root, policies=policies, baseline=None,
+                max_depth=args.max_depth,
+            )
+            write_baseline(baseline_path, report.findings)
+            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
+            return 0
+        report = run_flow(
+            paths,
+            root=root,
+            policies=policies,
+            baseline=None if args.no_baseline else baseline_path,
+            max_depth=args.max_depth,
+        )
+    except FlowError as exc:
+        print(f"flow: {exc}")
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_report
+
+        meta = {
+            p.id: {"description": p.description, "help": p.fix_hint, "level": "error"}
+            for p in policies
+        }
+        doc = sarif_report(
+            report.findings, tool_name="repro-flow", rule_meta=meta, root=root
+        )
+        print(json.dumps(doc, indent=2))
     else:
         print(report.format_text())
     return 0 if report.ok else 1
@@ -327,7 +417,10 @@ def main(argv: list[str] | None = None) -> int:
         "lint", help="determinism & lateness linter (docs/ANALYSIS.md)"
     )
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text", help="output format"
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format",
     )
     p_lint.add_argument(
         "--rules",
@@ -359,6 +452,61 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    p_lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="delete the stale waiver comments W2 reports, then lint",
+    )
+
+    p_flow = sub.add_parser(
+        "flow", help="interprocedural information-flow analysis (docs/ANALYSIS.md)"
+    )
+    p_flow.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format",
+    )
+    p_flow.add_argument(
+        "--policies",
+        default=None,
+        metavar="P[,P...]",
+        help="only run these policies (ids like `flow-lateness` or codes like F1)",
+    )
+    p_flow.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to analyse (default: src/repro)",
+    )
+    p_flow.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: flow-baseline.json at the repo root)",
+    )
+    p_flow.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    p_flow.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p_flow.add_argument(
+        "--max-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="summary-propagation passes, i.e. max helper-chain length "
+        "taint is tracked through (default: %(default)s)",
+    )
+    p_flow.add_argument(
+        "--list-policies",
+        action="store_true",
+        help="print the policy table and exit",
+    )
 
     p_par = sub.add_parser("params", help="show derived parameters for n")
     p_par.add_argument("n", type=int)
@@ -377,6 +525,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "scale": _cmd_scale,
         "lint": _cmd_lint,
+        "flow": _cmd_flow,
     }
     return handlers[args.command](args)
 

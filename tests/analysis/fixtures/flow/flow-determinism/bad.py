@@ -1,0 +1,19 @@
+# repro: module(repro.sim.flowfix_badclock)
+"""F2 bad: a wall-clock read smuggled through ``getattr`` and a helper.
+
+No ``time.<attr>`` attribute node ever appears, so the D2 wallclock rule
+cannot see this; the flow engine tracks the value from the ``getattr``
+through ``_stamp``'s return into fingerprint-feeding state.
+"""
+
+import time
+
+
+def _stamp() -> float:
+    clock = getattr(time, "perf_counter")
+    return clock()
+
+
+class Recorder:
+    def mark(self) -> None:
+        self.started_at = _stamp()

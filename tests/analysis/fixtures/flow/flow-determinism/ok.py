@@ -1,0 +1,11 @@
+# repro: module(repro.sim.flowfix_okclock)
+"""F2 ok: fingerprint-feeding state derives from the round counter only."""
+
+
+def _stamp(t: int) -> int:
+    return 3 * t + 1
+
+
+class Recorder:
+    def mark(self, t: int) -> None:
+        self.started_at = _stamp(t)

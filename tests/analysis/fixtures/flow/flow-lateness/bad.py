@@ -1,0 +1,20 @@
+# repro: module(repro.sim.flowfix_badwall)
+"""F1 bad: live state reaches the adversary *around* the syntactic wall.
+
+Both leaks below are invisible to the L-family lint rules — no forbidden
+expression ever appears inside a ``decide(...)`` call — and are caught
+only by tracking the values interprocedurally.
+"""
+
+
+def _hand(adv, payload):
+    adv.decide(payload)
+
+
+class Driver:
+    def consult(self, t: int) -> object:
+        snap = self.trace
+        return self.adversary.decide(snap)
+
+    def indirect(self) -> None:
+        _hand(self.adversary, self.network)

@@ -1,0 +1,24 @@
+# repro: module(repro.sim.flowfix_okwall)
+"""F1 ok: live state crosses the wall only inside a clamped AdversaryView.
+
+The view travels through a helper on purpose: the sanitizer's effect must
+survive interprocedural propagation, not just a direct ``decide`` call.
+"""
+
+from repro.adversary.view import AdversaryView
+
+
+def _consult(adv, view):
+    return adv.decide(view)
+
+
+class Driver:
+    def consult(self, t: int) -> object:
+        view = AdversaryView(
+            t,
+            self.trace,
+            self.lifecycle,
+            topology_lateness=self.params.a,
+            state_lateness=self.params.b,
+        )
+        return _consult(self.adversary, view)

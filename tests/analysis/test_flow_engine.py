@@ -1,0 +1,351 @@
+"""Unit tests of the flow engine: summaries, sanitizer, waivers, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import (
+    ALL_POLICIES,
+    LATENESS,
+    FlowError,
+    resolve_policies,
+    run_flow,
+)
+from repro.analysis.lint import Baseline, run_lint, write_baseline
+from repro.cli import main
+
+ARM = "# repro: module(repro.sim.flowtest)\n"
+
+
+def _tree(tmp_path, text, name="mod.py", header=ARM):
+    path = tmp_path / name
+    path.write_text(header + textwrap.dedent(text))
+    return path
+
+
+# -- interprocedural propagation ---------------------------------------
+
+
+CHAIN = """
+    import time
+
+
+    def a():
+        return b()
+
+
+    def b():
+        return c()
+
+
+    def c():
+        return time.perf_counter()
+
+
+    class R:
+        def mark(self):
+            self.x = a()
+"""
+
+
+def test_taint_tracks_through_a_helper_chain(tmp_path):
+    _tree(tmp_path, CHAIN)
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["flow-determinism"]
+    assert "`time.perf_counter`" in report.findings[0].message
+    # Converged before the depth bound.
+    assert report.passes < 8
+    assert report.functions == 4
+
+
+def test_max_depth_bounds_the_chain_length(tmp_path):
+    # Two passes are not enough to push the clock through a -> b -> c.
+    _tree(tmp_path, CHAIN)
+    report = run_flow([tmp_path], root=tmp_path, baseline=None, max_depth=2)
+    assert report.ok
+    assert report.passes == 2
+
+
+def test_max_depth_must_be_positive(tmp_path):
+    with pytest.raises(FlowError):
+        run_flow([tmp_path], root=tmp_path, max_depth=0)
+
+
+# -- the sanitizer ------------------------------------------------------
+
+
+def test_view_without_both_lateness_keywords_is_not_a_sanitizer(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        from repro.adversary.view import AdversaryView
+
+
+        class D:
+            def consult(self, t):
+                view = AdversaryView(t, self.trace, self.lifecycle,
+                                     topology_lateness=2)
+                return self.adversary.decide(view)
+        """,
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["flow-lateness"]
+
+
+def test_view_with_both_lateness_keywords_launders_live_state(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        from repro.adversary.view import AdversaryView
+
+
+        class D:
+            def consult(self, t):
+                view = AdversaryView(t, self.trace, self.lifecycle,
+                                     topology_lateness=2, state_lateness=8)
+                return self.adversary.decide(view)
+        """,
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert report.ok, [f.format() for f in report.findings]
+
+
+# -- sinks beyond decide() ----------------------------------------------
+
+
+def test_store_onto_adversary_handle_is_a_sink(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        class D:
+            def leak(self):
+                adv = self.adversary
+                adv.hint = self.trace
+        """,
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["flow-lateness"]
+    assert "adversary object state `adv.hint`" in report.findings[0].message
+
+
+def test_getattr_on_self_is_a_live_state_source(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        class D:
+            def consult(self):
+                snap = getattr(self, "trace")
+                return self.adversary.decide(snap)
+        """,
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["flow-lateness"]
+
+
+def test_property_loads_resolve_to_the_property_function(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        class D:
+            @property
+            def snapshot(self):
+                return self.trace
+
+            def consult(self):
+                return self.adversary.decide(self.snapshot)
+        """,
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["flow-lateness"]
+
+
+def test_unarmed_module_reports_nothing(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        class D:
+            def consult(self):
+                snap = self.trace
+                return self.adversary.decide(snap)
+        """,
+        header="# repro: module(elsewhere.tool)\n",
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert report.ok
+
+
+# -- waivers ------------------------------------------------------------
+
+
+LEAK = """
+    class D:
+        def consult(self):
+            snap = self.trace
+            return self.adversary.decide(snap){trailer}
+"""
+
+
+def test_flow_waiver_absorbs_its_finding(tmp_path):
+    _tree(
+        tmp_path,
+        LEAK.format(trailer="  # repro: allow(flow-lateness): exercised by tests"),
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert report.ok
+    assert [f.rule for f in report.waived] == ["flow-lateness"]
+
+
+def test_stale_flow_waiver_is_reported_by_flow_not_lint(tmp_path):
+    path = _tree(
+        tmp_path,
+        """
+        X = 1  # repro: allow(flow-lateness): nothing here any more
+        """,
+    )
+    flow = run_flow([path], root=tmp_path, baseline=None)
+    assert [f.rule for f in flow.findings] == ["unused-waiver"]
+    # The linter's W2 leaves flow-* waivers alone; only `repro flow` can
+    # know whether they match a finding.
+    lint = run_lint([path], root=tmp_path, baseline=None)
+    assert lint.ok, [f.format() for f in lint.findings]
+
+
+def test_unjustified_flow_waiver_is_inert(tmp_path):
+    _tree(tmp_path, LEAK.format(trailer="  # repro: allow(flow-lateness)"))
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["flow-lateness"]
+
+
+# -- baseline -----------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    _tree(tmp_path, LEAK.format(trailer=""))
+    first = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert not first.ok
+    baseline_path = tmp_path / "flow-baseline.json"
+    write_baseline(baseline_path, first.findings)
+    second = run_flow([tmp_path], root=tmp_path, baseline=baseline_path)
+    assert second.ok
+    assert len(second.baselined) == len(first.findings)
+    assert not second.stale_baseline
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    _tree(tmp_path, "X = 1\n")
+    base = Baseline(
+        [{"path": "mod.py", "rule": "flow-lateness", "message": "long gone"}]
+    )
+    report = run_flow([tmp_path], root=tmp_path, baseline=base)
+    assert report.ok
+    assert report.stale_baseline == [
+        {"path": "mod.py", "rule": "flow-lateness", "message": "long gone"}
+    ]
+
+
+# -- errors and selection -----------------------------------------------
+
+
+def test_unparsable_file_is_a_parse_error_finding(tmp_path):
+    _tree(tmp_path, "def broken(:\n")
+    report = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert [f.rule for f in report.findings] == ["parse-error"]
+
+
+def test_missing_path_raises(tmp_path):
+    with pytest.raises(FlowError):
+        run_flow([tmp_path / "nope"], root=tmp_path)
+
+
+def test_resolve_policies_by_id_code_and_error():
+    assert resolve_policies(None) == ALL_POLICIES
+    assert resolve_policies("F1") == (LATENESS,)
+    assert resolve_policies("flow-lateness,f1") == (LATENESS,)
+    with pytest.raises(FlowError):
+        resolve_policies("F9")
+
+
+def test_policy_selection_limits_findings(tmp_path):
+    _tree(
+        tmp_path,
+        """
+        import time
+
+
+        class D:
+            def both(self):
+                self.t0 = time.perf_counter()
+                return self.adversary.decide(self.trace.edges)
+        """,
+    )
+    full = run_flow([tmp_path], root=tmp_path, baseline=None)
+    assert sorted({f.rule for f in full.findings}) == [
+        "flow-determinism",
+        "flow-lateness",
+    ]
+    only_f1 = run_flow(
+        [tmp_path], root=tmp_path, baseline=None, policies=resolve_policies("F1")
+    )
+    assert {f.rule for f in only_f1.findings} == {"flow-lateness"}
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def test_cli_list_policies(capsys):
+    assert main(["flow", "--list-policies"]) == 0
+    out = capsys.readouterr().out
+    assert "flow-lateness" in out and "flow-determinism" in out
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = _tree(tmp_path, LEAK.format(trailer=""))
+    assert main(["flow", "--paths", str(bad), "--no-baseline"]) == 1
+    capsys.readouterr()
+    ok = _tree(tmp_path, "X = 1\n", name="ok.py")
+    assert main(["flow", "--paths", str(ok), "--no-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["flow", "--paths", str(tmp_path / "missing.py")]) == 2
+    capsys.readouterr()
+    assert main(["flow", "--policies", "F9"]) == 2
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = _tree(tmp_path, LEAK.format(trailer=""))
+    assert main(["flow", "--paths", str(bad), "--no-baseline", "--format=json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"]["active"] == 1
+    assert data["findings"][0]["rule"] == "flow-lateness"
+    assert data["policies"] == ["flow-lateness", "flow-determinism"]
+
+
+def test_cli_update_baseline(tmp_path, capsys):
+    bad = _tree(tmp_path, LEAK.format(trailer=""))
+    baseline = tmp_path / "fb.json"
+    assert (
+        main(
+            [
+                "flow",
+                "--paths",
+                str(bad),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert baseline.exists()
+    assert main(["flow", "--paths", str(bad), "--baseline", str(baseline)]) == 0
+
+
+def test_cli_max_depth(tmp_path, capsys):
+    _tree(tmp_path, CHAIN)
+    assert main(["flow", "--paths", str(tmp_path), "--no-baseline"]) == 1
+    capsys.readouterr()
+    assert (
+        main(["flow", "--paths", str(tmp_path), "--no-baseline", "--max-depth", "2"])
+        == 0
+    )

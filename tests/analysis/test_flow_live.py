@@ -1,0 +1,40 @@
+"""The flow analysis gates the live tree: clean with the committed baseline."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.flow import ALL_POLICIES, run_flow
+from repro.cli import main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "flow-baseline.json"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "flow"
+
+
+def test_live_tree_is_clean_under_committed_baseline():
+    report = run_flow([SRC], root=REPO_ROOT, baseline=BASELINE)
+    assert report.ok, "\n" + "\n".join(f.format() for f in report.findings)
+    assert not report.stale_baseline, report.stale_baseline
+    # The engine actually looked at the tree.
+    assert report.files > 50 and report.functions > 300
+    assert report.passes >= 2
+
+
+def test_cli_gate_passes_on_live_tree():
+    assert main(["flow"]) == 0
+
+
+@pytest.mark.parametrize("policy_id", [p.id for p in ALL_POLICIES])
+def test_injected_bad_fixture_fails_the_gate(policy_id):
+    bad = FIXTURES / policy_id / "bad.py"
+    report = run_flow([SRC, bad], root=REPO_ROOT, baseline=BASELINE)
+    assert not report.ok
+    assert any(f.rule == policy_id for f in report.findings)
+
+
+def test_injected_bad_fixture_fails_the_cli_gate():
+    bad = str(FIXTURES / "flow-lateness" / "bad.py")
+    assert main(["flow", "--paths", bad, "--no-baseline"]) == 1
