@@ -2,6 +2,7 @@
 
 from repro.adversary.base import Adversary, ChurnDecision, JoinRequest, NullAdversary
 from repro.adversary.budget import ChurnLedger, ChurnViolation
+from repro.adversary.composed import ComposedAdversary
 from repro.adversary.content_late import ContentLateAdversary
 from repro.adversary.isolate_join import IsolateJoinAdversary
 from repro.adversary.join_chain import JoinChainAdversary
@@ -15,6 +16,7 @@ __all__ = [
     "ChurnDecision",
     "ChurnLedger",
     "ChurnViolation",
+    "ComposedAdversary",
     "ContactTraceAdversary",
     "ContentLateAdversary",
     "DegreeTargetAdversary",

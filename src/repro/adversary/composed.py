@@ -1,0 +1,67 @@
+"""Composition of several adversaries into one churn stream.
+
+Scenario runs often pair a background workload (uniform random churn) with
+a targeted attack (degree targeting, contact tracing).  The engine accepts
+exactly one adversary, so :class:`ComposedAdversary` merges the decisions
+of its children each round:
+
+* **leaves** are unioned;
+* **joins** are concatenated in child order, with every ``new_id``
+  *re-based* onto fresh ids from the live view — children allocate ids
+  independently and would otherwise collide — and joins whose bootstrap
+  node is being churned out by another child are dropped (a join via a
+  leaving node is invalid by construction);
+* **lateness** is the most-capable child's: the composed adversary is as
+  early as its earliest child on each axis (``min`` of the latenesses),
+  matching the model where one adversary orchestrates several strategies;
+* **activation** is the earliest child's ``active_from``; children that
+  are not yet active simply contribute nothing.
+
+The merged decision can overspend the budget even when every child alone
+is paced — scenario runs therefore use ``strict_budget=False``, where an
+overspent round is rejected (and :meth:`notify_rejected` fans out to the
+children) instead of raising.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary, ChurnDecision, JoinRequest
+from repro.adversary.view import AdversaryView
+
+__all__ = ["ComposedAdversary"]
+
+
+class ComposedAdversary(Adversary):
+    """Union of several sub-adversaries' churn decisions."""
+
+    def __init__(self, *children: Adversary) -> None:
+        if not children:
+            raise ValueError("ComposedAdversary needs at least one child")
+        super().__init__(active_from=min(c.active_from for c in children))
+        self.children = tuple(children)
+        self.topology_lateness = min(c.topology_lateness for c in children)
+        self.state_lateness = min(c.state_lateness for c in children)
+
+    def decide(self, view: AdversaryView) -> ChurnDecision:
+        t = view.round
+        decisions = [
+            c.decide(view) for c in self.children if t >= c.active_from
+        ]
+        leaves: set[int] = set()
+        for d in decisions:
+            leaves.update(d.leaves)
+        joins: list[JoinRequest] = []
+        next_id = view.fresh_id()
+        for d in decisions:
+            for j in d.joins:
+                if j.bootstrap_id in leaves:
+                    continue  # another child churned the bootstrap out
+                joins.append(JoinRequest(next_id, j.bootstrap_id))
+                next_id += 1
+        if not leaves and not joins:
+            return ChurnDecision.none()
+        return ChurnDecision(leaves=frozenset(leaves), joins=tuple(joins))
+
+    def notify_rejected(self, decision: ChurnDecision, reason: str) -> None:
+        for c in self.children:
+            c.notify_rejected(decision, reason)

@@ -35,6 +35,7 @@ FINGERPRINT_PACKAGES = (
     "repro.routing",
     "repro.adversary",
     "repro.faults",
+    "repro.scenarios",
 )
 
 #: ``numpy.random`` attributes that touch the *global* generator (the

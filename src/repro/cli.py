@@ -14,6 +14,16 @@ Commands
     Fault-injection sweep (drop x delay x stall) reporting routing success
     and first-degradation round per cell; axes are comma-separated
     probability lists and default to the E-CH experiment's grid.
+    ``--scenario NAME`` runs a registry scenario (see ``scenario --list``)
+    through the recovery runner instead of the probability grid.
+``scenario --list | run NAME [NAME ...] | matrix``
+    Named adversity scenarios (network conditions x churn x adversary).
+    ``--list`` prints the registry; ``run`` executes the named scenarios
+    and prints their recovery reports (time to first degradation,
+    degraded-round fraction, time to recover, routing-stretch p50/p95/p99);
+    ``matrix`` runs the whole registry.  ``--seeds S,S`` and ``--workers W``
+    fan the grid over a process pool — output is identical for any worker
+    count — and ``--out PATH`` writes the schema-validated JSON report.
 ``profile [--n N] [--rounds R] [--seed S] [--churn P]``
     Run the maintenance protocol with a per-phase wall-time profiler
     attached and print the hot-path table (adversary / receive / compute /
@@ -111,8 +121,100 @@ def _parse_axis(value: str | None, name: str) -> list[float] | None:
     return probs
 
 
+def _print_scenario_cells(cells: list[dict]) -> None:
+    header = (
+        f"{'scenario':>20}  {'seed':>4}  {'deliv':>5}  {'p95':>5}  "
+        f"{'events':>6}  {'degraded':>8}  {'recover':>7}  fingerprint"
+    )
+    print(header)
+    for cell in cells:
+        probes = cell["probes"]
+        stretch = cell["stretch"]
+        recovery = cell["recovery"]
+        deliv = probes["delivery_rate"]
+        ttr = recovery["time_to_recover"]
+        print(
+            f"{cell['scenario']:>20}  {cell['seed']:>4}  "
+            f"{'-' if deliv is None else format(deliv, '.2f'):>5}  "
+            f"{'-' if stretch is None else format(stretch['p95'], '.2f'):>5}  "
+            f"{recovery['events']:>6}  "
+            f"{recovery['degraded_round_fraction']:>8.3f}  "
+            f"{'-' if ttr is None else ttr:>7}  {cell['fingerprint']}"
+        )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        SCENARIOS,
+        all_scenarios,
+        run_matrix,
+        scenario_report,
+        validate_scenario_report,
+    )
+
+    if args.list or args.action is None:
+        if args.action is not None:
+            raise SystemExit("scenario: --list takes no action argument")
+        if not args.list:
+            raise SystemExit("scenario: use --list, run NAME [NAME ...], or matrix")
+        width = max(len(s.name) for s in all_scenarios())
+        for s in all_scenarios():
+            print(f"{s.name:>{width}}  {s.description}")
+        return 0
+    if args.action == "matrix":
+        if args.names:
+            raise SystemExit("scenario matrix runs the whole registry; drop the names")
+        names = tuple(sorted(SCENARIOS))
+    else:  # action == "run" (argparse restricts the choices)
+        if not args.names:
+            raise SystemExit("scenario run: name at least one scenario")
+        names = tuple(args.names)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenarios {unknown}; try `python -m repro scenario --list`")
+        return 2
+    if args.seed is not None:
+        seeds: tuple[int, ...] = (args.seed,)
+    else:
+        try:
+            seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+        except ValueError:
+            raise SystemExit(f"--seeds expects comma-separated ints, got {args.seeds!r}")
+    if not seeds:
+        raise SystemExit("--seeds must name at least one seed")
+    cells = run_matrix(names, seeds, workers=args.workers, quick=not args.full)
+    _print_scenario_cells(cells)
+    if args.out:
+        report = scenario_report(cells)
+        validate_scenario_report(report)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.e_chaos import run_chaos
+
+    if args.scenario is not None:
+        from repro.scenarios import SCENARIOS, run_matrix
+
+        if args.scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {args.scenario!r}; "
+                "try `python -m repro scenario --list`"
+            )
+            return 2
+        cells = run_matrix(
+            (args.scenario,),
+            (args.seed if args.seed is not None else 0,),
+            quick=not args.full,
+        )
+        _print_scenario_cells(cells)
+        return 0
 
     drops = _parse_axis(args.drop, "drop")
     delays = _parse_axis(args.delay, "delay")
@@ -381,6 +483,34 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--drop", default=None, metavar="P[,P...]")
     p_chaos.add_argument("--delay", default=None, metavar="P[,P...]")
     p_chaos.add_argument("--stall", default=None, metavar="P[,P...]")
+    p_chaos.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run a registry scenario (see `scenario --list`) instead of the grid",
+    )
+
+    p_sc = sub.add_parser(
+        "scenario", help="named adversity scenarios with recovery reports"
+    )
+    p_sc.add_argument(
+        "action",
+        nargs="?",
+        choices=["run", "matrix"],
+        default=None,
+        help="`run NAME...` for chosen scenarios, `matrix` for the registry",
+    )
+    p_sc.add_argument("names", nargs="*", metavar="NAME")
+    p_sc.add_argument(
+        "--list", action="store_true", help="print the scenario registry and exit"
+    )
+    p_sc.add_argument("--seed", type=int, default=None, help="single seed shorthand")
+    p_sc.add_argument("--seeds", default="0", metavar="S[,S...]")
+    p_sc.add_argument("--workers", type=int, default=1)
+    p_sc.add_argument("--full", action="store_true", help="full-length runs")
+    p_sc.add_argument(
+        "--out", default=None, metavar="PATH", help="write the JSON recovery report"
+    )
 
     p_sw = sub.add_parser(
         "sweep", help="parallel (experiment x seed) sweep, merged table"
@@ -521,6 +651,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "params": _cmd_params,
         "chaos": _cmd_chaos,
+        "scenario": _cmd_scenario,
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
         "scale": _cmd_scale,

@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401  (imports register experiments)
     e_impossibility,
     e_maintenance,
     e_routing,
+    e_scenarios,
     e_table1,
     e_topology,
     e_transfer,

@@ -29,6 +29,7 @@ DEFAULT_ORDER = (
     "E-L24",
     "E-AB",
     "E-CH",
+    "E-SC",
     "E-X1",
     "E-X2",
     "E-X3",

@@ -16,14 +16,25 @@ Wire a plan into a run with ``Engine(..., faults=plan, health=monitor)`` or
 
 from repro.faults.health import DegradationEvent, HealthMonitor
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+from repro.faults.plan import (
+    AsymmetricPartition,
+    FaultPlan,
+    LatencyMatrix,
+    MessageFaults,
+    NodeStall,
+    RateCap,
+    RingPartition,
+)
 
 __all__ = [
+    "AsymmetricPartition",
     "DegradationEvent",
     "FaultInjector",
     "FaultPlan",
     "HealthMonitor",
+    "LatencyMatrix",
     "MessageFaults",
     "NodeStall",
+    "RateCap",
     "RingPartition",
 ]

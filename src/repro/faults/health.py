@@ -69,6 +69,9 @@ class HealthMonitor:
         self.sample_points = sample_points
         self.every = every
         self.events: list[DegradationEvent] = []
+        self.rounds_observed = 0
+        self.degraded_rounds = 0
+        self._last_observed_round: int | None = None
 
     # ------------------------------------------------------------------
     # Summaries
@@ -78,6 +81,31 @@ class HealthMonitor:
     def first_degradation_round(self) -> int | None:
         """Round of the first recorded event (``None`` = never degraded)."""
         return self.events[0].round if self.events else None
+
+    @property
+    def last_degradation_round(self) -> int | None:
+        """Round of the most recent event (``None`` = never degraded)."""
+        return self.events[-1].round if self.events else None
+
+    @property
+    def degraded_round_fraction(self) -> float:
+        """Fraction of audited rounds that recorded at least one event."""
+        if not self.rounds_observed:
+            return 0.0
+        return self.degraded_rounds / self.rounds_observed
+
+    @property
+    def time_to_recover(self) -> int | None:
+        """Clean rounds between the last event and the end of observation.
+
+        ``None`` when the run never degraded, or when the last audited
+        round still recorded an event (the run ended un-recovered).
+        """
+        last = self.last_degradation_round
+        if last is None or self._last_observed_round is None:
+            return None
+        gap = self._last_observed_round - last
+        return gap if gap > 0 else None
 
     def counts_by_kind(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -89,6 +117,8 @@ class HealthMonitor:
         return {
             "events": len(self.events),
             "first_degradation_round": self.first_degradation_round,
+            "degraded_round_fraction": self.degraded_round_fraction,
+            "time_to_recover": self.time_to_recover,
             **{f"events_{k}": v for k, v in sorted(self.counts_by_kind().items())},
         }
 
@@ -100,12 +130,21 @@ class HealthMonitor:
         """Audit round ``t`` and return (and record) any new events."""
         if t % self.every:
             return ()
+        if not engine.alive:
+            # Nothing to audit: with no alive nodes, every invariant is
+            # vacuous and any event would be spurious.  Skip the round
+            # without counting it as observed.
+            return ()
+        self.rounds_observed += 1
+        self._last_observed_round = t
         new: list[DegradationEvent] = []
         overlay = self._overlay_snapshot(engine)
         if overlay:
             new.extend(self._audit_swarm_occupancy(t, overlay))
             new.extend(self._audit_list_symmetry(t, overlay))
         new.extend(self._audit_connectivity(engine, t))
+        if new:
+            self.degraded_rounds += 1
         self.events.extend(new)
         return tuple(new)
 

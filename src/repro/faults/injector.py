@@ -28,7 +28,15 @@ from __future__ import annotations
 import hashlib
 import struct
 
-from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+from repro.faults.plan import (
+    AsymmetricPartition,
+    FaultPlan,
+    LatencyMatrix,
+    MessageFaults,
+    NodeStall,
+    RateCap,
+    RingPartition,
+)
 from repro.sim.metrics import FaultRoundStats
 from repro.util.rngs import PositionHash
 
@@ -48,8 +56,10 @@ class FaultInjector:
     ) -> None:
         self.plan = plan
         self._hash = position_hash
-        if plan.partitions and position_hash is None:
-            raise ValueError("RingPartition rules require a position hash")
+        if plan.needs_positions and position_hash is None:
+            raise ValueError(
+                "partition/latency-matrix/asymmetric rules require a position hash"
+            )
         self._key = (plan.seed & ((1 << 128) - 1)).to_bytes(16, "little")
         # Pre-keyed, domain-separated hash states; per-event coins clone
         # these and append the packed scope (much faster than re-keying).
@@ -61,11 +71,17 @@ class FaultInjector:
         self._delayed = 0
         self._duplicated = 0
         self._stalled = 0
+        self._deferred = 0
         # Per-round rule activity (refreshed by begin_round).
         self._msg_rules: list[tuple[int, MessageFaults]] = []
         self._stall_rules: list[tuple[int, NodeStall]] = []
         self._partitions: list[RingPartition] = []
-        # Position cache for partition cuts, keyed per epoch.
+        self._ratecaps: list[tuple[int, RateCap]] = []
+        self._latencies: list[LatencyMatrix] = []
+        self._asymmetric: list[AsymmetricPartition] = []
+        # Copies sent so far this round per (rate-cap rule index, src node).
+        self._cap_counts: dict[tuple[int, int], int] = {}
+        # Position cache for position-keyed rules, keyed per epoch.
         self._pos_epoch = -1
         self._pos_cache: dict[int, float] = {}
 
@@ -94,6 +110,7 @@ class FaultInjector:
         self._delayed = 0
         self._duplicated = 0
         self._stalled = 0
+        self._deferred = 0
         self._msg_rules = [
             (i, r)
             for i, r in enumerate(self.plan.messages)
@@ -105,19 +122,37 @@ class FaultInjector:
             if r.stall_p and r.active(t)
         ]
         self._partitions = [r for r in self.plan.partitions if r.active(t)]
-        if self._partitions and t // 2 != self._pos_epoch:
+        self._ratecaps = [
+            (i, r)
+            for i, r in enumerate(self.plan.ratecaps)
+            if not r.is_trivial and r.active(t)
+        ]
+        self._latencies = [
+            r for r in self.plan.latencies if not r.is_trivial and r.active(t)
+        ]
+        self._asymmetric = [r for r in self.plan.asymmetric if r.active(t)]
+        self._cap_counts = {}
+        needs_pos = self._partitions or self._latencies or self._asymmetric
+        if needs_pos and t // 2 != self._pos_epoch:
             self._pos_epoch = t // 2
             self._pos_cache = {}
 
     def round_stats(self) -> FaultRoundStats | None:
         """This round's injected-fault counts, or ``None`` if nothing fired."""
-        if not (self._dropped or self._delayed or self._duplicated or self._stalled):
+        if not (
+            self._dropped
+            or self._delayed
+            or self._duplicated
+            or self._stalled
+            or self._deferred
+        ):
             return None
         return FaultRoundStats(
             dropped=self._dropped,
             delayed=self._delayed,
             duplicated=self._duplicated,
             stalled=self._stalled,
+            deferred=self._deferred,
         )
 
     # ------------------------------------------------------------------
@@ -146,7 +181,13 @@ class FaultInjector:
         The network uses this to keep the fast, un-exploded multicast path
         on rounds where the plan is quiet (e.g. before a fault window opens).
         """
-        return bool(self._msg_rules or self._partitions)
+        return bool(
+            self._msg_rules
+            or self._partitions
+            or self._ratecaps
+            or self._latencies
+            or self._asymmetric
+        )
 
     def _position(self, v: int) -> float:
         p = self._pos_cache.get(v)
@@ -166,30 +207,67 @@ class FaultInjector:
         Returns a tuple of latencies in rounds — ``(1,)`` for an undisturbed
         message, ``()`` for a dropped one, ``(1 + k,)`` for a delayed one,
         and one extra entry per duplicate.  The network files one pending
-        copy per entry.
+        copy per entry.  Rate caps may give each copy its own deferral, so
+        entries need not be equal.
         """
         if self._partitions and self._crosses_partition(src, dst):
             self._dropped += 1
             return ()
-        if not self._msg_rules:
-            return _CLEAN_FATE
-        seq = self._seq
-        self._seq += 1
-        extra = 0
-        duplicates = 0
-        for i, rule in self._msg_rules:
-            drop_u, delay_u, dup_u = self._coins3(self._msg_base, t, seq, src, dst, i)
-            if drop_u < rule.drop_p:
+        if self._asymmetric:
+            p_src = self._position(src)
+            p_dst = self._position(dst)
+            if any(r.blocks(p_src, p_dst) for r in self._asymmetric):
                 self._dropped += 1
                 return ()
-            if delay_u < rule.delay_p:
-                extra += rule.delay_rounds
-            if dup_u < rule.duplicate_p:
-                duplicates += 1
-        if extra == 0 and duplicates == 0:
-            return _CLEAN_FATE
+        extra = 0
+        duplicates = 0
+        if self._msg_rules:
+            seq = self._seq
+            self._seq += 1
+            for i, rule in self._msg_rules:
+                drop_u, delay_u, dup_u = self._coins3(
+                    self._msg_base, t, seq, src, dst, i
+                )
+                if drop_u < rule.drop_p:
+                    self._dropped += 1
+                    return ()
+                if delay_u < rule.delay_p:
+                    extra += rule.delay_rounds
+                if dup_u < rule.duplicate_p:
+                    duplicates += 1
+        if self._latencies:
+            p_src = self._position(src)
+            p_dst = self._position(dst)
+            extra += sum(r.delay_between(p_src, p_dst) for r in self._latencies)
         if extra:
             self._delayed += 1
         if duplicates:
             self._duplicated += duplicates
-        return tuple([1 + extra] * (1 + duplicates))
+        base = 1 + extra
+        if not self._ratecaps:
+            if extra == 0 and duplicates == 0:
+                return _CLEAN_FATE
+            return tuple([base] * (1 + duplicates))
+        # Rate caps: every copy consumes one unit of the source's budget;
+        # the i-th copy over the limit is deferred ceil(i / limit) budget
+        # periods of ``defer_rounds`` rounds — deferred, never dropped.
+        fates = []
+        for _ in range(1 + duplicates):
+            defer = 0
+            for i, rule in self._ratecaps:
+                limit = rule.limit
+                if limit is None or not rule.eligible(src):
+                    continue
+                key = (i, src)
+                count = self._cap_counts.get(key, 0) + 1
+                self._cap_counts[key] = count
+                over = count - limit
+                if over > 0:
+                    d = ((over - 1) // limit + 1) * rule.defer_rounds
+                    defer = max(defer, d)
+            if defer:
+                self._deferred += 1
+            fates.append(base + defer)
+        if fates == [1]:
+            return _CLEAN_FATE
+        return tuple(fates)

@@ -2,7 +2,7 @@
 
 A :class:`FaultPlan` describes *environmental* faults — conditions of the
 network and the machines, outside the adversary's churn budget — as a
-composition of three rule families:
+composition of six rule families:
 
 * :class:`MessageFaults` — per-message omission (drop with probability
   ``drop_p``), latency (delay by ``delay_rounds`` extra rounds with
@@ -13,21 +13,41 @@ composition of three rule families:
   lost and it sends nothing);
 * :class:`RingPartition` — a position cut on the ``[0, 1)`` ring: while
   active, every message whose endpoints lie on opposite sides of the arc
-  ``[lo, hi)`` is blocked.
+  ``[lo, hi)`` is blocked;
+* :class:`RateCap` — a per-node send budget per round: copies beyond the
+  cap are not lost but *deferred* deterministically, spilling over into
+  later rounds at ``limit`` copies per round (a congested uplink);
+* :class:`LatencyMatrix` — regional delay classes: the ring is divided
+  into equal position bands and every message pays the extra latency of
+  its ``(source band, destination band)`` entry (geographic distance);
+* :class:`AsymmetricPartition` — a one-way cut: messages from inside the
+  arc ``[lo, hi)`` to the outside are blocked while the reverse direction
+  still flows (a half-broken uplink).
 
 Every rule carries an activity window ``[start, end)`` in rounds (``end``
 ``None`` = forever).  The plan itself is pure data; all randomness lives in
 :class:`repro.faults.injector.FaultInjector`, which derives per-event
 decisions from the plan ``seed`` with a keyed PRF — the same seed and plan
 always produce the identical fault schedule, independent of any other RNG
-stream in the simulation.
+stream in the simulation.  ``to_json``/``from_json`` round-trip a plan
+through plain JSON data so experiment records can embed the exact plan
+they ran under.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
 
-__all__ = ["MessageFaults", "NodeStall", "RingPartition", "FaultPlan"]
+__all__ = [
+    "MessageFaults",
+    "NodeStall",
+    "RingPartition",
+    "RateCap",
+    "LatencyMatrix",
+    "AsymmetricPartition",
+    "FaultPlan",
+]
 
 
 def _check_probability(name: str, p: float) -> None:
@@ -42,9 +62,73 @@ def _check_window(start: int, end: int | None) -> None:
         raise ValueError(f"window end must exceed start, got [{start}, {end})")
 
 
+def _rule_to_json(rule: Any, kind: str) -> dict[str, Any]:
+    """One rule as a JSON-ready dict (frozensets become sorted lists)."""
+    doc: dict[str, Any] = {"kind": kind}
+    for f in fields(rule):
+        value = getattr(rule, f.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        elif isinstance(value, tuple):
+            value = [list(row) if isinstance(row, tuple) else row for row in value]
+        doc[f.name] = value
+    return doc
+
+
+def _rule_from_json(cls: type, doc: Mapping[str, Any], kind: str) -> Any:
+    """Inverse of :func:`_rule_to_json`; validates via the constructor."""
+    if doc.get("kind", kind) != kind:
+        raise ValueError(f"expected a {kind!r} rule, got kind {doc.get('kind')!r}")
+    names = {f.name for f in fields(cls)}
+    unknown = set(doc) - names - {"kind"}
+    if unknown:
+        raise ValueError(f"{kind} rule has unknown fields {sorted(unknown)}")
+    kwargs = {}
+    for f in fields(cls):
+        if f.name not in doc:
+            continue
+        value = doc[f.name]
+        if f.name == "nodes" and value is not None:
+            value = frozenset(int(v) for v in value)
+        elif f.name == "delays":
+            value = tuple(tuple(int(d) for d in row) for row in value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def _shifted(rule: Any, offset: int) -> Any:
+    """A copy of ``rule`` with its activity window shifted by ``offset``."""
+    if offset == 0:
+        return rule
+    return replace(
+        rule,
+        start=rule.start + offset,
+        end=None if rule.end is None else rule.end + offset,
+    )
+
+
+class _RuleJson:
+    """Shared JSON round-trip for the rule dataclasses (see ``_KIND``)."""
+
+    _KIND = ""  # overridden per rule class
+
+    def to_json(self) -> dict[str, Any]:
+        return _rule_to_json(self, self._KIND)
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> Any:
+        return _rule_from_json(cls, doc, cls._KIND)
+
+    def shifted(self, offset: int) -> Any:
+        """A copy with the activity window shifted ``offset`` rounds later."""
+        return _shifted(self, offset)
+
+
 @dataclass(frozen=True)
-class MessageFaults:
+class MessageFaults(_RuleJson):
     """Message-level faults applied independently to every unicast receiver."""
+
+    _KIND = "message"
 
     drop_p: float = 0.0
     delay_p: float = 0.0
@@ -70,8 +154,10 @@ class MessageFaults:
 
 
 @dataclass(frozen=True)
-class NodeStall:
+class NodeStall(_RuleJson):
     """Transient stalls: each eligible node skips compute w.p. ``stall_p``."""
+
+    _KIND = "stall"
 
     stall_p: float = 0.0
     nodes: frozenset[int] | None = None  # None = every alive node is eligible
@@ -96,7 +182,7 @@ class NodeStall:
 
 
 @dataclass(frozen=True)
-class RingPartition:
+class RingPartition(_RuleJson):
     """Block every message crossing the position cut of the arc ``[lo, hi)``.
 
     Node positions are evaluated with the shared position hash for the
@@ -104,6 +190,144 @@ class RingPartition:
     the partition separates *regions of the ring*, not fixed node ids, just
     as a geographic cut would.
     """
+
+    lo: float
+    hi: float
+    start: int = 0
+    end: int | None = None
+
+    _KIND = "partition"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lo < 1.0 or not 0.0 <= self.hi < 1.0:
+            raise ValueError(f"cut endpoints must lie in [0, 1), got [{self.lo}, {self.hi})")
+        if self.lo == self.hi:
+            raise ValueError("cut arc must be non-empty")
+        _check_window(self.start, self.end)
+
+    def active(self, t: int) -> bool:
+        return t >= self.start and (self.end is None or t < self.end)
+
+    def inside(self, p: float) -> bool:
+        """Whether position ``p`` lies inside the arc (wrap-aware)."""
+        if self.lo < self.hi:
+            return self.lo <= p < self.hi
+        return p >= self.lo or p < self.hi
+
+
+@dataclass(frozen=True)
+class RateCap(_RuleJson):
+    """Per-node send budget: copies beyond ``limit`` per round are deferred.
+
+    While active, each eligible node may send at most ``limit`` message
+    copies per round.  Overflow copies are **never lost**: the ``i``-th
+    copy beyond the cap (1-indexed) is deferred by
+    ``ceil(i / limit) * defer_rounds`` extra rounds — the backlog drains
+    deterministically at ``limit`` copies per subsequent round, exactly
+    like a token-bucket uplink with no burst allowance.  The deferral
+    depends only on the (deterministic) send order, so the schedule is
+    reproducible bit-for-bit and needs no PRF coins.
+
+    ``limit=None`` means unlimited (the trivial rule); ``nodes=None``
+    makes every node eligible.
+    """
+
+    _KIND = "ratecap"
+
+    limit: int | None = None
+    defer_rounds: int = 1
+    nodes: frozenset[int] | None = None
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1 (or None), got {self.limit}")
+        if self.defer_rounds < 1:
+            raise ValueError(f"defer_rounds must be >= 1, got {self.defer_rounds}")
+        _check_window(self.start, self.end)
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", frozenset(int(v) for v in self.nodes))
+
+    def active(self, t: int) -> bool:
+        return t >= self.start and (self.end is None or t < self.end)
+
+    def eligible(self, v: int) -> bool:
+        return self.nodes is None or v in self.nodes
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.limit is None
+
+
+@dataclass(frozen=True)
+class LatencyMatrix(_RuleJson):
+    """Regional delay classes keyed by ring position bands.
+
+    The ``[0, 1)`` ring is divided into ``len(delays)`` equal arcs
+    ("bands"); a message from a node in band ``i`` to a node in band ``j``
+    pays ``delays[i][j]`` extra rounds of latency while the rule is active.
+    Band membership follows the epoch position hash (``e = t // 2``), so
+    the regions are regions *of the ring* — a node changes band when its
+    position changes, just as the :class:`RingPartition` cut does.
+
+    Purely deterministic (no PRF coins): the same pair of bands always
+    pays the same latency, modelling geographic distance classes rather
+    than jitter (compose with :class:`MessageFaults` for jitter).
+    """
+
+    _KIND = "latency"
+
+    delays: tuple[tuple[int, ...], ...] = ((0,),)
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        rows = tuple(tuple(int(d) for d in row) for row in self.delays)
+        object.__setattr__(self, "delays", rows)
+        if not rows:
+            raise ValueError("delays must have at least one band")
+        if any(len(row) != len(rows) for row in rows):
+            raise ValueError(
+                f"delays must be square, got {len(rows)} rows of widths "
+                f"{[len(r) for r in rows]}"
+            )
+        if any(d < 0 for row in rows for d in row):
+            raise ValueError("delays must be non-negative")
+        _check_window(self.start, self.end)
+
+    @property
+    def bands(self) -> int:
+        return len(self.delays)
+
+    def active(self, t: int) -> bool:
+        return t >= self.start and (self.end is None or t < self.end)
+
+    def band_of(self, p: float) -> int:
+        """The band index of ring position ``p`` (wrap-safe clamp)."""
+        return min(int(p * self.bands), self.bands - 1)
+
+    def delay_between(self, p_src: float, p_dst: float) -> int:
+        return self.delays[self.band_of(p_src)][self.band_of(p_dst)]
+
+    @property
+    def is_trivial(self) -> bool:
+        return all(d == 0 for row in self.delays for d in row)
+
+
+@dataclass(frozen=True)
+class AsymmetricPartition(_RuleJson):
+    """One-way cut: the arc ``[lo, hi)`` can receive but not send out.
+
+    While active, every message whose *source* position lies inside the
+    arc and whose *destination* lies outside is blocked; the reverse
+    direction (outside → inside) and both same-side directions flow
+    normally.  Positions follow the epoch hash exactly like
+    :class:`RingPartition`.  Models asymmetric reachability — a region
+    whose uplink failed while its downlink still works.
+    """
+
+    _KIND = "asymmetric"
 
     lo: float
     hi: float
@@ -126,6 +350,21 @@ class RingPartition:
             return self.lo <= p < self.hi
         return p >= self.lo or p < self.hi
 
+    def blocks(self, p_src: float, p_dst: float) -> bool:
+        """Whether a message from ``p_src`` to ``p_dst`` is blocked."""
+        return self.inside(p_src) and not self.inside(p_dst)
+
+
+#: JSON ``kind`` tag -> (rule class, FaultPlan field name), in schema order.
+_RULE_FAMILIES: dict[str, tuple[type, str]] = {
+    "message": (MessageFaults, "messages"),
+    "stall": (NodeStall, "stalls"),
+    "partition": (RingPartition, "partitions"),
+    "ratecap": (RateCap, "ratecaps"),
+    "latency": (LatencyMatrix, "latencies"),
+    "asymmetric": (AsymmetricPartition, "asymmetric"),
+}
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -135,11 +374,13 @@ class FaultPlan:
     messages: tuple[MessageFaults, ...] = ()
     stalls: tuple[NodeStall, ...] = ()
     partitions: tuple[RingPartition, ...] = ()
+    ratecaps: tuple[RateCap, ...] = ()
+    latencies: tuple[LatencyMatrix, ...] = ()
+    asymmetric: tuple[AsymmetricPartition, ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "messages", tuple(self.messages))
-        object.__setattr__(self, "stalls", tuple(self.stalls))
-        object.__setattr__(self, "partitions", tuple(self.partitions))
+        for _, field_name in _RULE_FAMILIES.values():
+            object.__setattr__(self, field_name, tuple(getattr(self, field_name)))
 
     @property
     def is_trivial(self) -> bool:
@@ -148,7 +389,79 @@ class FaultPlan:
             all(r.is_trivial for r in self.messages)
             and all(r.is_trivial for r in self.stalls)
             and not self.partitions
+            and all(r.is_trivial for r in self.ratecaps)
+            and all(r.is_trivial for r in self.latencies)
+            and not self.asymmetric
         )
+
+    @property
+    def needs_positions(self) -> bool:
+        """Whether any rule evaluates ring positions (partition/latency/asym)."""
+        return bool(
+            self.partitions
+            or self.asymmetric
+            or any(not r.is_trivial for r in self.latencies)
+        )
+
+    def iter_rules(self):
+        """Every rule of the plan, in schema (family, index) order."""
+        for _, field_name in _RULE_FAMILIES.values():
+            yield from getattr(self, field_name)
+
+    def fault_window(self) -> tuple[int | None, int | None]:
+        """``(open, close)`` span over all non-trivial rule windows.
+
+        ``open`` is the earliest ``start`` (``None`` when the plan is
+        trivial); ``close`` is the latest ``end``, or ``None`` when the
+        plan is trivial *or* some non-trivial rule is open-ended — i.e. a
+        ``close`` of ``None`` with a non-``None`` ``open`` means the plan
+        never stops firing.  Recovery reports use this to anchor
+        time-to-recover at the round the environment went quiet.
+        """
+        rules = [r for r in self.iter_rules() if not getattr(r, "is_trivial", False)]
+        if not rules:
+            return None, None
+        opens = min(r.start for r in rules)
+        ends = [r.end for r in rules]
+        return opens, None if any(e is None for e in ends) else max(ends)
+
+    def shifted(self, offset: int) -> "FaultPlan":
+        """A copy with every rule window shifted ``offset`` rounds later.
+
+        Scenario templates express windows relative to round 0 = "faults
+        may open"; the runner shifts them past the bootstrap phase here.
+        """
+        if offset == 0:
+            return self
+        return replace(
+            self,
+            **{
+                field_name: tuple(r.shifted(offset) for r in getattr(self, field_name))
+                for _, field_name in _RULE_FAMILIES.values()
+            },
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """The plan as JSON-ready data (stable field order, lists not tuples)."""
+        doc: dict[str, Any] = {"seed": self.seed}
+        for kind, (_, field_name) in _RULE_FAMILIES.items():
+            rules = getattr(self, field_name)
+            if rules:
+                doc[field_name] = [_rule_to_json(r, kind) for r in rules]
+        return doc
+
+    @staticmethod
+    def from_json(doc: Mapping[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_json`; every rule re-validates on build."""
+        known = {field_name for _, field_name in _RULE_FAMILIES.values()}
+        unknown = set(doc) - known - {"seed"}
+        if unknown:
+            raise ValueError(f"fault plan has unknown fields {sorted(unknown)}")
+        kwargs: dict[str, Any] = {"seed": int(doc.get("seed", 0))}
+        for kind, (cls, field_name) in _RULE_FAMILIES.items():
+            rules = doc.get(field_name, ())
+            kwargs[field_name] = tuple(_rule_from_json(cls, r, kind) for r in rules)
+        return FaultPlan(**kwargs)
 
     @staticmethod
     def none(seed: int = 0) -> "FaultPlan":

@@ -1,0 +1,49 @@
+"""Named adversity scenarios: conditions x churn x adversary, reproducibly.
+
+The scenario subsystem turns "how does the overlay degrade and recover
+under loss-30%+delay-50 while the adversary cuts the ring?" into one named,
+frozen, JSON-serializable experiment:
+
+* :mod:`repro.scenarios.spec` — the :class:`Scenario` dataclass and its
+  builders (params, materialized plan, composed adversary);
+* :mod:`repro.scenarios.registry` — the named matrix (``calm`` through
+  ``churn-loss``);
+* :mod:`repro.scenarios.runner` — pool-parallel, worker-count-invariant
+  execution with probe waves and recovery metrics;
+* :mod:`repro.scenarios.report` — the versioned recovery-report schema CI
+  validates.
+"""
+
+from repro.scenarios.registry import SCENARIOS, all_scenarios, get_scenario
+from repro.scenarios.report import (
+    SCHEMA,
+    scenario_report,
+    validate_scenario_report,
+)
+from repro.scenarios.runner import PROBES_PER_WAVE, run_matrix, run_scenario_cell
+from repro.scenarios.spec import (
+    AdversarySpec,
+    ChurnSpec,
+    Scenario,
+    build_adversary,
+    build_params,
+    materialize_plan,
+)
+
+__all__ = [
+    "PROBES_PER_WAVE",
+    "SCENARIOS",
+    "SCHEMA",
+    "AdversarySpec",
+    "ChurnSpec",
+    "Scenario",
+    "all_scenarios",
+    "build_adversary",
+    "build_params",
+    "get_scenario",
+    "materialize_plan",
+    "run_matrix",
+    "run_scenario_cell",
+    "scenario_report",
+    "validate_scenario_report",
+]

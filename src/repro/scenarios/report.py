@@ -1,0 +1,89 @@
+"""Recovery-report schema: the JSON contract of ``repro scenario``.
+
+A report wraps the cell records of :mod:`repro.scenarios.runner` under a
+versioned schema tag.  :func:`validate_scenario_report` is the same
+validator CI's ``scenario-smoke`` job runs against the emitted file — a
+report that passes here is a report every downstream consumer (benchmark
+embedding, SLO tooling) can rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["SCHEMA", "scenario_report", "validate_scenario_report"]
+
+SCHEMA = "repro/scenario-report/v1"
+
+#: Required top-level fields of every cell record.
+_CELL_FIELDS = (
+    "scenario",
+    "seed",
+    "n",
+    "rounds",
+    "fault_window",
+    "probes",
+    "stretch",
+    "recovery",
+    "established_fraction",
+    "faults_injected",
+    "churn_events",
+    "fingerprint",
+    "plan",
+)
+
+_PROBE_FIELDS = ("launched", "delivered", "delivery_rate")
+_RECOVERY_FIELDS = (
+    "time_to_first_degradation",
+    "degraded_round_fraction",
+    "time_to_recover",
+    "recovery_rounds_after_close",
+    "events",
+)
+_STRETCH_FIELDS = ("p50", "p95", "p99")
+
+
+def scenario_report(cells: list[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap cell records into the versioned report document."""
+    return {
+        "schema": SCHEMA,
+        "cells": list(cells),
+        "scenarios": sorted({str(c.get("scenario")) for c in cells}),
+    }
+
+
+def _require(doc: Mapping[str, Any], fields: tuple[str, ...], where: str) -> None:
+    missing = [f for f in fields if f not in doc]
+    if missing:
+        raise ValueError(f"{where} is missing fields {missing}")
+
+
+def validate_scenario_report(doc: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed recovery report."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"expected schema {SCHEMA!r}, got {doc.get('schema')!r}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("report must carry a non-empty 'cells' list")
+    for i, cell in enumerate(cells):
+        where = f"cell[{i}]"
+        if not isinstance(cell, Mapping):
+            raise ValueError(f"{where} is not an object")
+        _require(cell, _CELL_FIELDS, where)
+        _require(cell["probes"], _PROBE_FIELDS, f"{where}.probes")
+        _require(cell["recovery"], _RECOVERY_FIELDS, f"{where}.recovery")
+        stretch = cell["stretch"]
+        if stretch is not None:
+            _require(stretch, _STRETCH_FIELDS, f"{where}.stretch")
+        window = cell["fault_window"]
+        if not isinstance(window, (list, tuple)) or len(window) != 2:
+            raise ValueError(f"{where}.fault_window must be a [open, close] pair")
+        frac = cell["recovery"]["degraded_round_fraction"]
+        if not isinstance(frac, (int, float)) or not 0.0 <= float(frac) <= 1.0:
+            raise ValueError(
+                f"{where}.recovery.degraded_round_fraction must lie in [0, 1]"
+            )
+        if not isinstance(cell["fingerprint"], str) or len(cell["fingerprint"]) != 32:
+            raise ValueError(f"{where}.fingerprint must be a 32-hex-char digest")
+        if not isinstance(cell["plan"], Mapping):
+            raise ValueError(f"{where}.plan must be the embedded fault-plan JSON")

@@ -1,0 +1,203 @@
+"""Scenario execution — one cell per ``(scenario, seed)``, pool-parallel.
+
+A cell builds the scenario's simulation (plan shifted past bootstrap, churn
+and attack composed into one adversary, a :class:`HealthMonitor` attached),
+runs it round by round, launches two probe waves — one while the fault
+windows are open, one after they close — and condenses the outcome into a
+plain-data record: routing stretch percentiles, the recovery metrics of the
+issue (time to first degradation, degraded-round fraction, time to recover)
+and a fingerprint digest of everything observable.
+
+Worker-count invariance follows the E-SW construction: the task grid is
+sorted, every cell is a pure function of ``(scenario name, seed, quick)``,
+and ``Pool.map`` returns results in task order — ``run_matrix(...,
+workers=4)`` is bit-for-bit ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+
+import numpy as np
+
+from repro.core.runner import MaintenanceSimulation
+from repro.faults.health import HealthMonitor
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import build_adversary, build_params, materialize_plan
+
+__all__ = ["PROBES_PER_WAVE", "run_scenario_cell", "run_matrix"]
+
+#: Probes launched per wave (two waves per run).
+PROBES_PER_WAVE = 6
+
+
+def _percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _fingerprint(sim: MaintenanceSimulation, deliveries: dict) -> str:
+    """Digest of everything observable about the run (simfp's contract)."""
+    rounds = []
+    for report in sim.engine.reports:
+        m = report.metrics
+        f = m.faults
+        rounds.append(
+            (
+                m.round,
+                m.total_sent,
+                m.max_sent,
+                m.alive,
+                None
+                if f is None
+                else (f.dropped, f.delayed, f.duplicated, f.stalled, f.deferred),
+                tuple(sorted(report.decision.leaves)),
+                tuple(sorted((j.new_id, j.bootstrap_id) for j in report.decision.joins)),
+            )
+        )
+    audit = sim.audit_overlay()
+    events = tuple((e.round, e.kind, e.severity) for e in (sim.health.events if sim.health else ()))
+    parts = (
+        tuple(rounds),
+        events,
+        (audit.epoch, audit.members, audit.alive, audit.missing_edges, audit.required_edges),
+        tuple(sorted((repr(pid), d) for pid, d in deliveries.items())),
+    )
+    return hashlib.blake2b(repr(parts).encode(), digest_size=16).hexdigest()
+
+
+def run_scenario_cell(task: tuple[str, int, bool]) -> dict[str, object]:
+    """Run one ``(scenario name, seed, quick)`` cell (worker entry point)."""
+    name, seed, quick = task
+    scenario = get_scenario(name)
+    params = build_params(scenario, seed)
+    plan = materialize_plan(scenario, params, seed)
+    adversary = build_adversary(scenario, params, seed)
+    monitor = HealthMonitor(params)
+    sim = MaintenanceSimulation(
+        params,
+        adversary,
+        strict_budget=False,  # composed decisions may overspend; reject, don't raise
+        faults=None if plan.is_trivial else plan,
+        health=monitor,
+    )
+    post_rounds = min(scenario.rounds, 24) if quick else scenario.rounds
+    total = params.bootstrap_rounds + post_rounds
+    window_open, window_close = plan.fault_window()
+
+    # Two probe waves: one inside the fault window, one after it closes
+    # (when a close round is known and leaves room for deliveries to land).
+    waves = {params.bootstrap_rounds + 2}
+    if (
+        window_close is not None
+        and window_close + params.dilation + 2 <= total
+        and window_close + 1 not in waves
+    ):
+        waves.add(window_close + 1)
+
+    rng = np.random.default_rng(seed + 17)
+    queued_at: dict[object, int] = {}
+    for t in range(total):
+        if t in waves:
+            try:
+                for pid in sim.send_probes(PROBES_PER_WAVE, rng):
+                    queued_at[pid] = t
+            except RuntimeError:
+                pass  # overlay collapsed: nothing established to probe from
+        sim.engine.run_round()
+
+    # First-delivery round per probe (a probe reaches a whole swarm; the
+    # earliest receipt defines its latency).
+    deliveries: dict[object, int] = {}
+    for node in sim.alive_nodes():
+        for payload, t in node.delivered:
+            if isinstance(payload, tuple) and payload[0] == "probe":
+                pid = payload[1]
+                if pid in queued_at and (pid not in deliveries or t < deliveries[pid]):
+                    deliveries[pid] = t
+
+    stretches = [
+        (deliveries[pid] - queued_at[pid]) / params.dilation for pid in deliveries
+    ]
+    stretch = (
+        {
+            "p50": _percentile(stretches, 50),
+            "p95": _percentile(stretches, 95),
+            "p99": _percentile(stretches, 99),
+        }
+        if stretches
+        else None
+    )
+
+    first = monitor.first_degradation_round
+    last = monitor.last_degradation_round
+    if window_close is None or last is None:
+        after_close = None
+    else:
+        # Degradation rounds past the window close = how long the overlay
+        # took to shake the damage off once the environment went quiet.
+        after_close = max(0, last - window_close + 1)
+    recovery = {
+        "time_to_first_degradation": None
+        if first is None or window_open is None
+        else first - window_open,
+        "degraded_round_fraction": monitor.degraded_round_fraction,
+        "time_to_recover": monitor.time_to_recover,
+        "recovery_rounds_after_close": after_close,
+        "events": len(monitor.events),
+        "events_by_kind": monitor.counts_by_kind(),
+    }
+
+    health = sim.health_summary()
+    totals = sim.engine.metrics.fault_totals()
+    churned = sum(len(r.decision.leaves) + len(r.decision.joins) for r in sim.engine.reports)
+    return {
+        "scenario": name,
+        "seed": seed,
+        "n": params.n,
+        "rounds": total,
+        "bootstrap_rounds": params.bootstrap_rounds,
+        "fault_window": [window_open, window_close],
+        "probes": {
+            "launched": len(queued_at),
+            "delivered": len(deliveries),
+            "delivery_rate": len(deliveries) / len(queued_at) if queued_at else None,
+        },
+        "stretch": stretch,
+        "recovery": recovery,
+        "established_fraction": health["established_fraction"],
+        "faults_injected": totals.injected,
+        "churn_events": churned,
+        "fingerprint": _fingerprint(sim, deliveries),
+        "plan": plan.to_json(),
+    }
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits imports); spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_matrix(
+    names: tuple[str, ...],
+    seeds: tuple[int, ...] = (0,),
+    *,
+    workers: int = 1,
+    quick: bool = False,
+) -> list[dict[str, object]]:
+    """Run the ``names x seeds`` grid; output is worker-count invariant."""
+    tasks = sorted((name, int(s), bool(quick)) for name in names for s in seeds)
+    if not tasks:
+        raise ValueError("empty scenario grid")
+    if workers <= 1:
+        return [run_scenario_cell(t) for t in tasks]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+        return pool.map(run_scenario_cell, tasks)

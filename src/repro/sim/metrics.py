@@ -25,11 +25,18 @@ class FaultRoundStats:
     delayed: int = 0
     duplicated: int = 0
     stalled: int = 0
+    deferred: int = 0
 
     @property
     def injected(self) -> int:
         """Total fault events injected this round."""
-        return self.dropped + self.delayed + self.duplicated + self.stalled
+        return (
+            self.dropped
+            + self.delayed
+            + self.duplicated
+            + self.stalled
+            + self.deferred
+        )
 
 
 @dataclass(frozen=True)
@@ -124,4 +131,5 @@ class MetricsCollector:
             delayed=sum(s.delayed for s in stats),
             duplicated=sum(s.duplicated for s in stats),
             stalled=sum(s.stalled for s in stats),
+            deferred=sum(s.deferred for s in stats),
         )

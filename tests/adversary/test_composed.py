@@ -1,0 +1,93 @@
+"""Tests for ComposedAdversary's decision merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Adversary, ChurnDecision, JoinRequest
+from repro.adversary.composed import ComposedAdversary
+
+
+class FakeView:
+    """Just enough of AdversaryView for decide(): round + an id counter."""
+
+    def __init__(self, t=10, next_id=100):
+        self.round = t
+        self._next = next_id
+
+    def fresh_id(self):
+        return self._next
+
+
+class Scripted(Adversary):
+    def __init__(self, decision, *, active_from=0, topo=2, state=10**9):
+        super().__init__(active_from=active_from)
+        self.decision = decision
+        self.topology_lateness = topo
+        self.state_lateness = state
+        self.rejections = []
+
+    def decide(self, view):
+        return self.decision
+
+    def notify_rejected(self, decision, reason):
+        self.rejections.append(reason)
+
+
+class TestComposition:
+    def test_requires_children(self):
+        with pytest.raises(ValueError):
+            ComposedAdversary()
+
+    def test_leaves_unioned(self):
+        a = Scripted(ChurnDecision(leaves=frozenset({1, 2})))
+        b = Scripted(ChurnDecision(leaves=frozenset({2, 3})))
+        got = ComposedAdversary(a, b).decide(FakeView())
+        assert got.leaves == frozenset({1, 2, 3})
+
+    def test_join_ids_rebased_and_unique(self):
+        # Both children allocated overlapping new ids; the composition
+        # re-bases them onto fresh ids so they never collide.
+        a = Scripted(ChurnDecision(joins=(JoinRequest(50, 7), JoinRequest(51, 8))))
+        b = Scripted(ChurnDecision(joins=(JoinRequest(50, 9),)))
+        got = ComposedAdversary(a, b).decide(FakeView(next_id=100))
+        ids = [j.new_id for j in got.joins]
+        assert ids == [100, 101, 102]
+        assert [j.bootstrap_id for j in got.joins] == [7, 8, 9]
+
+    def test_join_via_leaving_bootstrap_dropped(self):
+        a = Scripted(ChurnDecision(leaves=frozenset({7})))
+        b = Scripted(ChurnDecision(joins=(JoinRequest(50, 7), JoinRequest(51, 8))))
+        got = ComposedAdversary(a, b).decide(FakeView())
+        assert [j.bootstrap_id for j in got.joins] == [8]
+
+    def test_inactive_child_contributes_nothing(self):
+        a = Scripted(ChurnDecision(leaves=frozenset({1})), active_from=0)
+        b = Scripted(ChurnDecision(leaves=frozenset({2})), active_from=99)
+        got = ComposedAdversary(a, b).decide(FakeView(t=10))
+        assert got.leaves == frozenset({1})
+
+    def test_all_quiet_is_none(self):
+        a = Scripted(ChurnDecision.none())
+        got = ComposedAdversary(a, a).decide(FakeView())
+        assert got == ChurnDecision.none()
+
+    def test_lateness_is_most_capable(self):
+        a = Scripted(ChurnDecision.none(), topo=2, state=10**9)
+        b = Scripted(ChurnDecision.none(), topo=4, state=6)
+        comp = ComposedAdversary(a, b)
+        assert comp.topology_lateness == 2
+        assert comp.state_lateness == 6
+
+    def test_active_from_is_earliest(self):
+        a = Scripted(ChurnDecision.none(), active_from=5)
+        b = Scripted(ChurnDecision.none(), active_from=9)
+        assert ComposedAdversary(a, b).active_from == 5
+
+    def test_rejection_fans_out(self):
+        a = Scripted(ChurnDecision.none())
+        b = Scripted(ChurnDecision.none())
+        comp = ComposedAdversary(a, b)
+        comp.notify_rejected(ChurnDecision.none(), "budget")
+        assert a.rejections == ["budget"]
+        assert b.rejections == ["budget"]

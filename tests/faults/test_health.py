@@ -156,4 +156,46 @@ class TestSummaries:
 
     def test_empty_summary(self):
         monitor, _ = run_monitored(RingProtocol, rounds=1)
-        assert monitor.summary() == {"events": 0, "first_degradation_round": None}
+        assert monitor.summary() == {
+            "events": 0,
+            "first_degradation_round": None,
+            "degraded_round_fraction": 0.0,
+            "time_to_recover": None,
+        }
+
+    def test_degraded_round_fraction(self):
+        monitor, _ = run_monitored(TwoIslandsProtocol, rounds=4)
+        assert monitor.rounds_observed == 4
+        assert monitor.degraded_round_fraction == 1.0
+        healthy, _ = run_monitored(RingProtocol, rounds=4)
+        assert healthy.degraded_round_fraction == 0.0
+
+    def test_time_to_recover_none_while_degraded(self):
+        monitor, _ = run_monitored(TwoIslandsProtocol, rounds=3)
+        # Every audited round is degraded, so the run never recovers.
+        assert monitor.summary()["time_to_recover"] is None
+
+    def test_time_to_recover_counts_clean_tail(self):
+        params = ProtocolParams(n=16, seed=1, alpha=0.25)
+        monitor = HealthMonitor(params)
+        eng = Engine(params, lambda v, s: RingProtocol(v, s), health=monitor)
+        eng.seed_nodes(range(16))
+        eng.run(4)
+        # Inject a synthetic event at round 1 and re-derive the summary.
+        from repro.faults.health import DegradationEvent
+
+        monitor.events.append(
+            DegradationEvent(
+                round=1, kind="disconnected", severity="critical", detail="x"
+            )
+        )
+        assert monitor.summary()["time_to_recover"] == 2  # rounds 2..3 clean
+
+    def test_empty_alive_set_skipped(self):
+        params = ProtocolParams(n=8, seed=1, alpha=0.25)
+        monitor = HealthMonitor(params)
+        eng = Engine(params, lambda v, s: RingProtocol(v, s), health=monitor)
+        eng.run(2)  # no nodes seeded: alive set is empty every round
+        assert monitor.events == []
+        assert monitor.rounds_observed == 0
+        assert monitor.degraded_round_fraction == 0.0

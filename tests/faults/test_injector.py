@@ -5,7 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+from repro.faults.plan import (
+    AsymmetricPartition,
+    FaultPlan,
+    LatencyMatrix,
+    MessageFaults,
+    NodeStall,
+    RateCap,
+    RingPartition,
+)
 from repro.util.rngs import RngService
 
 
@@ -151,6 +159,145 @@ class TestStalls:
             inj.begin_round(t)
             hits += sum(inj.stalled(t, v) for v in range(20))
         assert 0.15 < hits / 400 < 0.45
+
+
+class TestRateCap:
+    def make(self, limit=2, defer_rounds=3, **kw):
+        plan = FaultPlan(
+            seed=5, ratecaps=(RateCap(limit=limit, defer_rounds=defer_rounds, **kw),)
+        )
+        inj = FaultInjector(plan)
+        inj.begin_round(0)
+        return inj
+
+    def test_under_budget_clean(self):
+        inj = self.make(limit=3)
+        assert inj.message_fates(0, 1, 2) == (1,)
+        assert inj.message_fates(0, 1, 3) == (1,)
+        assert inj.message_fates(0, 1, 4) == (1,)
+        assert inj.round_stats() is None
+
+    def test_overflow_deferred_never_dropped(self):
+        """Conservation: every send yields >= 1 copy; overflow is delayed."""
+        inj = self.make(limit=2, defer_rounds=3)
+        fates = [inj.message_fates(0, 1, dst) for dst in range(2, 9)]
+        # 7 sends from node 1: 2 on time, 2 deferred one period, 2 two, 1 three.
+        assert all(len(f) == 1 for f in fates)  # nothing lost
+        assert fates == [(1,), (1,), (4,), (4,), (7,), (7,), (10,)]
+        assert inj.round_stats().deferred == 5
+        assert inj.round_stats().dropped == 0
+
+    def test_budget_is_per_source(self):
+        inj = self.make(limit=1, defer_rounds=2)
+        assert inj.message_fates(0, 1, 9) == (1,)
+        assert inj.message_fates(0, 2, 9) == (1,)  # different src, own budget
+        assert inj.message_fates(0, 1, 8) == (3,)
+
+    def test_budget_resets_each_round(self):
+        inj = self.make(limit=1)
+        assert inj.message_fates(0, 1, 2) == (1,)
+        assert inj.message_fates(0, 1, 3) != (1,)
+        inj.begin_round(1)
+        assert inj.message_fates(1, 1, 2) == (1,)
+
+    def test_targeted_nodes_only(self):
+        inj = self.make(limit=1, defer_rounds=2, nodes=frozenset({7}))
+        assert inj.message_fates(0, 7, 1) == (1,)
+        assert inj.message_fates(0, 7, 2) == (3,)
+        for dst in range(1, 6):
+            assert inj.message_fates(0, 8, dst) == (1,)
+
+    def test_duplicates_consume_budget(self):
+        plan = FaultPlan(
+            seed=5,
+            messages=(MessageFaults(duplicate_p=1.0),),
+            ratecaps=(RateCap(limit=1, defer_rounds=2),),
+        )
+        inj = FaultInjector(plan)
+        inj.begin_round(0)
+        # One send explodes to two copies: the second is over budget.
+        assert inj.message_fates(0, 1, 2) == (1, 3)
+
+    def test_trivial_cap_inactive(self):
+        plan = FaultPlan(seed=5, ratecaps=(RateCap(),))
+        inj = FaultInjector(plan)
+        inj.begin_round(0)
+        assert not inj.message_faults_active
+        assert inj.message_fates(0, 1, 2) == (1,)
+
+
+class TestLatencyMatrix:
+    def make(self, delays):
+        ph = RngService(3).position_hash()
+        plan = FaultPlan(seed=1, latencies=(LatencyMatrix(delays=delays),))
+        return FaultInjector(plan, position_hash=ph), ph
+
+    def test_requires_position_hash(self):
+        plan = FaultPlan(latencies=(LatencyMatrix(delays=((0, 1), (1, 0)),),))
+        with pytest.raises(ValueError):
+            FaultInjector(plan)
+
+    def test_band_delays_applied(self):
+        matrix = LatencyMatrix(delays=((0, 5), (5, 0)))
+        inj, ph = self.make(((0, 5), (5, 0)))
+        inj.begin_round(0)
+        by_band = {0: [], 1: []}
+        for v in range(40):
+            by_band[matrix.band_of(ph.position(v, 0))].append(v)
+        assert by_band[0] and by_band[1]
+        same = inj.message_fates(0, by_band[0][0], by_band[0][1])
+        cross = inj.message_fates(0, by_band[0][0], by_band[1][0])
+        assert same == (1,)
+        assert cross == (6,)
+        assert inj.round_stats().delayed == 1
+
+    def test_zero_matrix_trivial(self):
+        plan = FaultPlan(seed=1, latencies=(LatencyMatrix(),))
+        inj = FaultInjector(plan)
+        inj.begin_round(0)
+        assert not inj.message_faults_active
+
+    def test_deterministic_schedule(self):
+        def drive():
+            inj, _ = self.make(((0, 2, 4), (2, 0, 2), (4, 2, 0)))
+            out = []
+            for t in range(4):
+                inj.begin_round(t)
+                out.extend(inj.message_fates(t, s, d) for s in range(8) for d in range(8))
+            return out
+
+        assert drive() == drive()
+
+
+class TestAsymmetricPartition:
+    def make(self, lo=0.0, hi=0.5):
+        ph = RngService(3).position_hash()
+        plan = FaultPlan(seed=1, asymmetric=(AsymmetricPartition(lo=lo, hi=hi),))
+        return FaultInjector(plan, position_hash=ph), ph
+
+    def test_one_way_invariant(self):
+        """A->B blocked while B->A flows, for every cross pair."""
+        inj, ph = self.make()
+        inj.begin_round(0)
+        arc = AsymmetricPartition(0.0, 0.5)
+        inside = [v for v in range(40) if arc.inside(ph.position(v, 0))]
+        outside = [v for v in range(40) if not arc.inside(ph.position(v, 0))]
+        assert inside and outside
+        for a in inside[:5]:
+            for b in outside[:5]:
+                assert inj.message_fates(0, a, b) == ()  # inside -> outside dies
+                assert inj.message_fates(0, b, a) == (1,)  # reverse flows
+        assert inj.message_fates(0, inside[0], inside[1]) == (1,)
+        assert inj.message_fates(0, outside[0], outside[1]) == (1,)
+
+    def test_drops_counted(self):
+        inj, ph = self.make()
+        inj.begin_round(0)
+        arc = AsymmetricPartition(0.0, 0.5)
+        a = next(v for v in range(40) if arc.inside(ph.position(v, 0)))
+        b = next(v for v in range(40) if not arc.inside(ph.position(v, 0)))
+        inj.message_fates(0, a, b)
+        assert inj.round_stats().dropped == 1
 
 
 class TestDeterminism:

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.faults.plan import FaultPlan, MessageFaults, NodeStall, RingPartition
+from repro.faults.plan import (
+    AsymmetricPartition,
+    FaultPlan,
+    LatencyMatrix,
+    MessageFaults,
+    NodeStall,
+    RateCap,
+    RingPartition,
+)
 
 
 class TestMessageFaults:
@@ -75,6 +83,161 @@ class TestRingPartition:
         assert cut.inside(0.9)
         assert cut.inside(0.05)
         assert not cut.inside(0.5)
+
+
+class TestRateCapRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateCap(limit=0)
+        with pytest.raises(ValueError):
+            RateCap(limit=2, defer_rounds=0)
+        with pytest.raises(ValueError):
+            RateCap(limit=2, start=5, end=5)
+
+    def test_trivial(self):
+        assert RateCap().is_trivial
+        assert not RateCap(limit=3).is_trivial
+
+    def test_eligibility(self):
+        rule = RateCap(limit=1, nodes=frozenset({1, 2}))
+        assert rule.eligible(1)
+        assert not rule.eligible(3)
+        assert RateCap(limit=1).eligible(3)
+
+
+class TestLatencyMatrixRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(delays=())
+        with pytest.raises(ValueError):
+            LatencyMatrix(delays=((0, 1),))  # not square
+        with pytest.raises(ValueError):
+            LatencyMatrix(delays=((0, -1), (1, 0)))
+
+    def test_band_of(self):
+        m = LatencyMatrix(delays=((0, 1), (1, 0)))
+        assert m.bands == 2
+        assert m.band_of(0.0) == 0
+        assert m.band_of(0.49) == 0
+        assert m.band_of(0.5) == 1
+        assert m.band_of(0.999) == 1
+
+    def test_delay_between(self):
+        m = LatencyMatrix(delays=((0, 3), (5, 0)))
+        assert m.delay_between(0.1, 0.9) == 3
+        assert m.delay_between(0.9, 0.1) == 5
+        assert m.delay_between(0.1, 0.2) == 0
+
+    def test_trivial(self):
+        assert LatencyMatrix().is_trivial
+        assert LatencyMatrix(delays=((0, 0), (0, 0))).is_trivial
+        assert not LatencyMatrix(delays=((0, 1), (1, 0))).is_trivial
+
+
+class TestAsymmetricPartitionRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsymmetricPartition(lo=0.2, hi=1.2)
+        with pytest.raises(ValueError):
+            AsymmetricPartition(lo=0.5, hi=0.5)
+        with pytest.raises(ValueError):
+            AsymmetricPartition(lo=0.0, hi=0.5, start=3, end=3)
+
+    def test_blocks_one_way_only(self):
+        arc = AsymmetricPartition(lo=0.0, hi=0.5)
+        assert arc.blocks(0.25, 0.75)
+        assert not arc.blocks(0.75, 0.25)
+        assert not arc.blocks(0.1, 0.2)
+        assert not arc.blocks(0.7, 0.8)
+
+    def test_wrapped_arc(self):
+        arc = AsymmetricPartition(lo=0.8, hi=0.1)
+        assert arc.blocks(0.9, 0.5)
+        assert not arc.blocks(0.5, 0.9)
+
+
+class TestJsonRoundTrip:
+    def full_plan(self):
+        return FaultPlan(
+            seed=42,
+            messages=(MessageFaults(drop_p=0.3, delay_p=0.1, delay_rounds=2),),
+            stalls=(NodeStall(stall_p=0.2, nodes=frozenset({3, 1}), start=5),),
+            partitions=(RingPartition(lo=0.1, hi=0.6, start=2, end=9),),
+            ratecaps=(RateCap(limit=4, defer_rounds=2),),
+            latencies=(LatencyMatrix(delays=((0, 1), (1, 0)), start=1),),
+            asymmetric=(AsymmetricPartition(lo=0.7, hi=0.2),),
+        )
+
+    def test_plan_round_trips(self):
+        plan = self.full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_plain_data(self):
+        import json
+
+        doc = self.full_plan().to_json()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["stalls"][0]["nodes"] == [1, 3]  # sorted, not a set
+
+    def test_each_rule_round_trips(self):
+        for rule in self.full_plan().iter_rules():
+            assert type(rule).from_json(rule.to_json()) == rule
+
+    def test_empty_families_omitted(self):
+        doc = FaultPlan.simple(seed=1, drop_p=0.2).to_json()
+        assert set(doc) == {"seed", "messages"}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json({"seed": 1, "bogus": []})
+        with pytest.raises(ValueError):
+            MessageFaults.from_json({"kind": "message", "drop_q": 0.1})
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NodeStall.from_json({"kind": "message"})
+
+    def test_invalid_values_rejected_on_load(self):
+        with pytest.raises(ValueError):
+            MessageFaults.from_json({"kind": "message", "drop_p": 1.5})
+
+
+class TestWindows:
+    def test_shifted_moves_every_window(self):
+        plan = FaultPlan(
+            seed=1,
+            messages=(MessageFaults(drop_p=0.5, start=0, end=10),),
+            ratecaps=(RateCap(limit=2, start=3),),
+        )
+        moved = plan.shifted(7)
+        assert moved.messages[0].start == 7
+        assert moved.messages[0].end == 17
+        assert moved.ratecaps[0].start == 10
+        assert moved.ratecaps[0].end is None
+        assert plan.shifted(0) is plan
+
+    def test_fault_window_trivial(self):
+        assert FaultPlan.none().fault_window() == (None, None)
+
+    def test_fault_window_span(self):
+        plan = FaultPlan(
+            seed=1,
+            messages=(MessageFaults(drop_p=0.5, start=4, end=10),),
+            partitions=(RingPartition(0.0, 0.5, start=6, end=20),),
+        )
+        assert plan.fault_window() == (4, 20)
+
+    def test_fault_window_open_ended(self):
+        plan = FaultPlan(seed=1, stalls=(NodeStall(stall_p=0.1, start=2),))
+        assert plan.fault_window() == (2, None)
+
+    def test_fault_window_ignores_trivial_rules(self):
+        plan = FaultPlan(
+            seed=1,
+            messages=(MessageFaults(drop_p=0.5, start=4, end=8),),
+            ratecaps=(RateCap(start=0),),  # trivial: no limit
+        )
+        assert plan.fault_window() == (4, 8)
 
 
 class TestFaultPlan:

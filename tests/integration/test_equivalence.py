@@ -43,3 +43,26 @@ def test_reference_matches_golden(scenario):
 def test_cache_without_plane_matches_golden():
     """The epoch cache alone (legacy transport) is also equivalence-safe."""
     assert run_scenario("steady", hop_plane=False) == GOLDEN["steady"]
+
+
+def test_trivial_new_rules_match_golden():
+    """A plan carrying the scenario rule types, all trivial, is a no-op.
+
+    RateCap with no limit, an all-zero LatencyMatrix and an asymmetric cut
+    whose window never opens must consume no entropy and reorder nothing:
+    the run still reproduces the pre-fault-layer golden digest bit for bit.
+    """
+    from repro.faults.plan import (
+        AsymmetricPartition,
+        FaultPlan,
+        LatencyMatrix,
+        RateCap,
+    )
+
+    plan = FaultPlan(
+        seed=123,
+        ratecaps=(RateCap(),),
+        latencies=(LatencyMatrix(delays=((0, 0), (0, 0))),),
+        asymmetric=(AsymmetricPartition(lo=0.0, hi=0.5, start=10**9),),
+    )
+    assert run_scenario("steady", faults=plan) == GOLDEN["steady"]

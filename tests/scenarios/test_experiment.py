@@ -1,0 +1,21 @@
+"""Tests for the E-SC scenario-matrix experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+from repro.experiments.e_scenarios import QUICK_NAMES, run_scenarios_experiment
+
+
+class TestESC:
+    def test_registered(self):
+        assert get_experiment("E-SC") is run_scenarios_experiment
+
+    def test_quick_subset_passes(self):
+        result = run_scenarios_experiment(quick=True, seed=0)
+        assert result.passed
+        assert [row[0] for row in result.rows] == sorted(QUICK_NAMES)
+
+    def test_explicit_names(self):
+        result = run_scenarios_experiment(quick=True, seed=0, names=("calm",))
+        assert result.passed
+        assert len(result.rows) == 1

@@ -31,6 +31,51 @@ class TestCliParams:
         assert "alpha: 0.25" in out
 
 
+class TestCliScenario:
+    def test_list_shows_registry(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        names = [line.split()[0] for line in out.strip().splitlines()]
+        assert len(names) >= 10
+        assert "calm" in names
+        assert "loss30-delay50" in names
+
+    def test_run_requires_names(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+    def test_no_action_errors(self):
+        with pytest.raises(SystemExit):
+            main(["scenario"])
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["scenario", "run", "bogus"]) == 2
+
+    def test_run_writes_validated_report(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        assert main(["scenario", "run", "calm", "--seed", "2", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "calm" in out
+        import json
+
+        from repro.scenarios import validate_scenario_report
+
+        doc = json.loads(out_path.read_text())
+        validate_scenario_report(doc)
+        assert doc["cells"][0]["seed"] == 2
+
+
+class TestCliChaosScenario:
+    def test_unknown_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "bogus"]) == 2
+
+    def test_runs_registry_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "calm", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "calm" in out
+        assert "fingerprint" in out
+
+
 class TestCliRun:
     def test_runs_fast_experiment(self, capsys):
         assert main(["run", "E-F1"]) == 0
