@@ -1,11 +1,19 @@
 """Bench scaling — steady-state maintenance cost versus network size.
 
-Times steady-state protocol rounds at n in {48, 128, 256, 512}; quick mode
-(the CI default) stops at 128 so the smoke job stays fast, ``--full`` runs
-the whole curve.  Each measurement appends one entry to
-``benchmarks/results/BENCH_scaling.json`` when recording is enabled (see
-the ``record_bench`` fixture); ``python -m repro scale`` renders the
-recorded curve as a table.
+Times steady-state protocol rounds over the (n, workers) grid with n in
+{48, 128, 256, 512, 1024} and workers in {1, 4}; quick mode (the CI
+default) runs the single-process n in {48, 128} points so the smoke job
+stays fast, ``--full`` runs the whole matrix.  Each measurement appends one
+entry to ``benchmarks/results/BENCH_scaling.json`` when recording is
+enabled (see the ``record_bench`` fixture); ``python -m repro scale``
+renders the recorded curve — including the per-n speedup of the sharded
+rows against the serial ones — as a table.
+
+The n=512 serial point also asserts a peak-RSS ceiling: the epoch-slab
+copy-on-write splices and the columnar message/hop stores bound the
+resident set well below the ~1.1 GB the pre-columnar engine needed, and a
+leak that grows the peak past :data:`RSS_LIMIT_KB_N512` fails the bench
+rather than silently eating the host.
 """
 
 from __future__ import annotations
@@ -14,24 +22,39 @@ import pytest
 
 from repro.config import ProtocolParams
 from repro.core.runner import MaintenanceSimulation
+from repro.util.benchrec import peak_rss_kb
 
-SIZES = (48, 128, 256, 512)
-QUICK_SIZES = (48, 128)
+SIZES = (48, 128, 256, 512, 1024)
+WORKER_COUNTS = (1, 4)
+QUICK_POINTS = ((48, 1), (128, 1))
+
+#: Peak-RSS budget for the n=512 serial measurement, in KiB.  The committed
+#: history peaked around 1.1 GB before the columnar stores; the current
+#: engine stays under ~0.55 GB, so 768 MiB catches a regression of the
+#: retained-generation kind while absorbing allocator jitter.
+RSS_LIMIT_KB_N512 = 768 * 1024
 
 
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
 @pytest.mark.parametrize("n", SIZES)
-def test_scaling_round_cost(benchmark, quick, record_bench, n):
-    """Seconds per steady-state round at network size ``n``."""
-    if quick and n not in QUICK_SIZES:
-        pytest.skip(f"n={n} runs only with --full")
+def test_scaling_round_cost(benchmark, quick, record_bench, n, workers):
+    """Seconds per steady-state round at network size ``n``, ``workers`` shards."""
+    if quick and (n, workers) not in QUICK_POINTS:
+        pytest.skip(f"(n={n}, workers={workers}) runs only with --full")
     params = ProtocolParams(n=n, c=1.2, r=2, delta=3, tau=8, seed=1)
-    sim = MaintenanceSimulation(params)
-    sim.run(2 * (params.lam + 3))  # reach steady state
+    with MaintenanceSimulation(params, workers=workers) as sim:
+        sim.run(2 * (params.lam + 3))  # reach steady state
 
-    def two_rounds():
-        sim.run(2)
-        return sim.round
+        def two_rounds():
+            sim.run(2)
+            return sim.round
 
-    benchmark.pedantic(two_rounds, rounds=2 if quick else 3, iterations=1)
-    record_bench(benchmark, "scaling", n=n, rounds=2)
-    assert sim.audit_overlay().edge_coverage == 1.0
+        benchmark.pedantic(two_rounds, rounds=2 if quick else 3, iterations=1)
+        record_bench(benchmark, "scaling", n=n, rounds=2, workers=workers)
+        assert sim.audit_overlay().edge_coverage == 1.0
+        if n == 512 and workers == 1:
+            rss = peak_rss_kb()
+            assert rss <= RSS_LIMIT_KB_N512, (
+                f"peak RSS {rss} KiB exceeds the n=512 budget "
+                f"{RSS_LIMIT_KB_N512} KiB — a retained-generation leak?"
+            )

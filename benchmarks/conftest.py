@@ -65,6 +65,7 @@ def record_bench(quick):
         n: int = 0,
         rounds: int = 1,
         label: str | None = None,
+        workers: int | None = None,
     ):
         meta = getattr(benchmark, "stats", None)
         if meta is None:  # --benchmark-disable: nothing was timed
@@ -76,6 +77,7 @@ def record_bench(quick):
             rounds=rounds,
             seconds_per_round=meta.stats.mean / max(1, rounds),
             label=label if label is not None else ("quick" if quick else "full"),
+            workers=workers,
         )
         return append_entry(RESULTS_DIR, bench_id, entry)
 

@@ -9,11 +9,17 @@ runner jitter while catching real regressions).
 Usage::
 
     python benchmarks/perf_guard.py bench.json \
-        test_micro_protocol_rounds=micro_protocol_rounds [--factor 1.25]
+        test_micro_protocol_rounds=micro_protocol_rounds \
+        'test_scaling_round_cost[512-1]=scaling@n=512,workers=1' \
+        [--factor 1.25]
 
-Each positional check is ``<test name>=<bench id>``; the test's simulated
-rounds-per-iteration are taken from the committed entry, so both sides
-compare in seconds per simulated round.
+Each positional check is ``<test name>=<bench id>[@k=v,...]``.  A BENCH
+file that holds a whole grid (the scaling curve records one entry per
+``(n, workers)`` point) is narrowed with the optional ``@`` filter: the
+guard compares against the *last* committed entry whose fields match every
+``k=v`` pair (``workers`` absent in an old entry matches ``workers=1``).
+The test's simulated rounds-per-iteration are taken from the committed
+entry, so both sides compare in seconds per simulated round.
 """
 
 from __future__ import annotations
@@ -31,6 +37,34 @@ def _find_benchmark(payload: dict, test_name: str) -> dict | None:
         if bench.get("name", "").split("[")[0] == test_name.split("[")[0]:
             if "[" not in test_name or bench.get("name") == test_name:
                 return bench
+    return None
+
+
+def _parse_bench_ref(ref: str) -> tuple[str, dict[str, int]]:
+    """Split ``bench_id[@k=v,...]`` into the id and an entry filter."""
+    bench_id, at, filter_spec = ref.partition("@")
+    fields: dict[str, int] = {}
+    if at:
+        for pair in filter_spec.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not key:
+                raise ValueError(f"bad entry filter {pair!r} (want k=v)")
+            fields[key] = int(value)
+    return bench_id, fields
+
+
+def _select_entry(entries: list[dict], fields: dict[str, int]) -> dict | None:
+    """The newest committed entry matching every filter field.
+
+    ``workers`` is special-cased: entries recorded before the sharded
+    engine carry no workers field and mean workers=1.
+    """
+    for entry in reversed(entries):
+        if all(
+            entry.get(key, 1 if key == "workers" else None) == value
+            for key, value in fields.items()
+        ):
+            return entry
     return None
 
 
@@ -54,15 +88,20 @@ def main(argv: list[str] | None = None) -> int:
     payload = json.loads(Path(args.json_file).read_text())
     failed = False
     for spec in args.checks:
-        test_name, sep, bench_id = spec.partition("=")
+        test_name, sep, bench_ref = spec.partition("=")
         if not sep:
-            print(f"bad check spec {spec!r} (want TEST=BENCH_ID)")
+            print(f"bad check spec {spec!r} (want TEST=BENCH_ID[@k=v,...])")
+            return 2
+        try:
+            bench_id, fields = _parse_bench_ref(bench_ref)
+        except ValueError as exc:
+            print(f"bad check spec {spec!r}: {exc}")
             return 2
         record = validate_bench_file(bench_path(RESULTS_DIR, bench_id))
-        if not record["entries"]:
-            print(f"{bench_id}: no committed entries to compare against")
+        committed = _select_entry(record["entries"], fields)
+        if committed is None:
+            print(f"{bench_id}: no committed entry matches {fields or 'any'}")
             return 2
-        committed = record["entries"][-1]
         bench = _find_benchmark(payload, test_name)
         if bench is None:
             print(f"{test_name}: not found in {args.json_file}")

@@ -30,6 +30,10 @@ __all__ = [
 #: the bit-for-bit contract.
 FINGERPRINT_PACKAGES = (
     "repro.sim",
+    # Matching is by dotted prefix, so repro.sim covers every sim submodule
+    # — including repro.sim.shard, whose forked workers replay the compute
+    # phase and must satisfy the same determinism contract as the engine.
+    "repro.sim.shard",
     "repro.core",
     "repro.overlay",
     "repro.routing",

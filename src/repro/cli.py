@@ -268,15 +268,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.churn > 0.0:
         adversary = RandomChurnAdversary(params, seed=args.seed, intensity=args.churn)
     profiler = PhaseProfiler()
-    sim = MaintenanceSimulation(params, adversary, profiler=profiler)
-    sim.run(args.rounds)
+    with MaintenanceSimulation(
+        params, adversary, profiler=profiler, workers=args.workers
+    ) as sim:
+        sim.run(args.rounds)
     mean_ms = profiler.total_time() / max(1, profiler.rounds) * 1e3
     print(
         f"n={args.n} rounds={args.rounds} seed={args.seed} "
-        f"churn={args.churn} mean={mean_ms:.2f} ms/round"
+        f"churn={args.churn} workers={args.workers} mean={mean_ms:.2f} ms/round"
     )
     print()
     print(profiler.table())
+    shard_rounds = [t for t in profiler.history if t.shards]
+    if shard_rounds:
+        per_shard = [0.0] * max(len(t.shards) for t in shard_rounds)
+        for t in shard_rounds:
+            for k, s in enumerate(t.shards):
+                per_shard[k] += s
+        print()
+        print(f"{'shard':<10} {'total s':>10} {'ms/round':>10}")
+        for k, seconds in enumerate(per_shard):
+            print(
+                f"{k:<10} {seconds:>10.3f} "
+                f"{seconds / len(shard_rounds) * 1e3:>10.2f}"
+            )
     return 0
 
 
@@ -294,22 +309,41 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         )
         return 2
     data = validate_bench_file(path)
-    latest: dict[int, dict] = {}
-    for entry in data["entries"]:  # newest entry per size wins
-        latest[entry["n"]] = entry
+    # Newest entry per (n, workers) wins; records that predate the sharded
+    # engine carry no workers field and mean workers=1.
+    latest: dict[tuple[int, int], dict] = {}
+    for entry in data["entries"]:
+        latest[(entry["n"], entry.get("workers", 1))] = entry
     if not latest:
         print(f"{path}: no entries")
         return 2
-    print(f"{'n':>6}  {'s/round':>9}  {'peak RSS':>9}  recorded")
+    print(
+        f"{'n':>6}  {'W':>3}  {'s/round':>9}  {'peak RSS':>9}  "
+        f"{'speedup':>8}  recorded"
+    )
     base: float | None = None
-    for n in sorted(latest):
-        entry = latest[n]
+    for n, workers in sorted(latest):
+        entry = latest[(n, workers)]
         spr = entry["seconds_per_round"]
-        if base is None:
+        if base is None and workers == 1:
             base = spr or None
-        rel = f"  ({spr / base:.1f}x n={min(latest)})" if base else ""
+        # Speedup of this row vs the serial (workers=1) row at the same n;
+        # the serial rows anchor at 1.00x.
+        serial = latest.get((n, 1))
+        if serial is not None and spr:
+            speed = f"{serial['seconds_per_round'] / spr:>7.2f}x"
+        else:
+            speed = f"{'—':>8}"
+        rel = (
+            f"  ({spr / base:.1f}x n={min(k[0] for k in latest)})"
+            if base and workers == 1
+            else ""
+        )
         rss_mb = entry["peak_rss_kb"] / 1024.0
-        print(f"{n:>6}  {spr:>9.4f}  {rss_mb:>7.1f}MB  {entry['created']}{rel}")
+        print(
+            f"{n:>6}  {workers:>3}  {spr:>9.4f}  {rss_mb:>7.1f}MB  "
+            f"{speed}  {entry['created']}{rel}"
+        )
     return 0
 
 
@@ -532,6 +566,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         metavar="INTENSITY",
         help="attach a RandomChurnAdversary with this intensity (0 = none)",
+    )
+    p_prof.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the compute phase across N processes (default: 1)",
     )
 
     p_scale = sub.add_parser(

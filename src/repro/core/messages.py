@@ -24,7 +24,7 @@ are tagged tuples: ``("join", JoinRecord)``, ``("token", owner_id)`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = [
     "JoinRecord",
@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinRecord:
     """A node's position in an upcoming overlay epoch."""
 
@@ -45,35 +45,50 @@ class JoinRecord:
     epoch: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinBatch:
     """Rebroadcast of join records to a current-overlay neighbour."""
 
     records: tuple[JoinRecord, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateBatch:
-    """Introductions: the receiver's neighbours in the records' epoch."""
+    """Introductions: the receiver's neighbours in the records' epoch.
+
+    ``nodes``/``poses``/``epoch`` are optional producer-side projections of
+    ``records`` (column views plus the records' shared epoch).  They carry no
+    information of their own — equality and hashing stay on ``records`` — and
+    let the receiver ingest a batch with one C-level ``zip`` update instead
+    of touching every record object.  Producers that set them MUST keep them
+    exact projections; consumers MUST fall back to ``records`` when absent.
+    """
 
     records: tuple[JoinRecord, ...]
+    nodes: tuple[int, ...] | None = field(
+        default=None, compare=False, repr=False
+    )
+    poses: tuple[float, ...] | None = field(
+        default=None, compare=False, repr=False
+    )
+    epoch: int | None = field(default=None, compare=False, repr=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenMsg:
     """A token (= the id of a mature node willing to be contacted)."""
 
     owner: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectMsg:
     """Register fresh node ``node`` with the receiver (fills a slot)."""
 
     node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenGrant:
     """Initial token supply handed to a newly joined node."""
 

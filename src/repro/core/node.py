@@ -46,11 +46,11 @@ token machinery instead of silently falling out of the overlay.
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 
 import numpy as np
 
 from repro.config import ProtocolParams
+from repro.core import nodestore
 from repro.core.messages import (
     ConnectMsg,
     CreateBatch,
@@ -76,6 +76,14 @@ class Phase(enum.Enum):
     ESTABLISHED = "established"  # member of the current overlay
 
 
+#: Phase enum -> columnar store code (:mod:`repro.core.nodestore`).
+_PHASE_CODES = {
+    Phase.NEW: nodestore.PHASE_NEW,
+    Phase.FRESH: nodestore.PHASE_FRESH,
+    Phase.ESTABLISHED: nodestore.PHASE_ESTABLISHED,
+}
+
+
 # ----------------------------------------------------------------------
 # Shared per-round hop classification (columnar plane receive path)
 #
@@ -87,13 +95,38 @@ class Phase(enum.Enum):
 # ----------------------------------------------------------------------
 
 
+def _final_class(m) -> tuple[int, int]:
+    """Delivery class of a final-step row: ``(class, sample_rank)``.
+
+    Class 0 — recorded on arrival (probes, unknown payloads): ``_deliver``
+    appends to ``delivered`` and never draws rng.  Class 1 — rank-tested
+    token: state changes (and rng draws) happen only at the node whose rank
+    in the target swarm equals ``sample_rank``.  Class 2 — complete no-op
+    (a token without a sample rank returns immediately).
+    """
+    payload = m.payload
+    if isinstance(payload, tuple) and payload[0] == "token":
+        if m.sample_rank is None:
+            return 2, -1
+        return 1, m.sample_rank
+    return 0, -1
+
+
 def _even_hop_cols(delivery: HopDelivery):
-    """Row kinds for even rounds: 0 skip, 1 arrived join, 2 final, 3 mid."""
+    """Row kinds for even rounds: 0 skip, 1 arrived join, 2 final, 3 mid.
+
+    Alongside the forwarding columns this precomputes, per final row, the
+    delivery class and sample rank (see :func:`_final_class`) so receivers
+    can decide *without calling* ``_deliver`` whether a row can touch their
+    state — the vast majority of final copies are rank-test misses.
+    """
     msgs = delivery.msgs
     steps = delivery.steps.tolist()
     count = len(msgs)
     kind = np.zeros(count, dtype=np.int8)
     point = np.zeros(count, dtype=np.float64)
+    fincls = np.zeros(count, dtype=np.int8)
+    srank = np.full(count, -1, dtype=np.int64)
     next_ks = [0] * count
     recs: list[JoinRecord | None] = [None] * count
     for i, m in enumerate(msgs):
@@ -111,40 +144,69 @@ def _even_hop_cols(delivery: HopDelivery):
             else:
                 kind[i] = 2
                 point[i] = m.target
+                fincls[i], srank[i] = _final_class(m)
         else:
             kind[i] = 3
             point[i] = m.trajectory[nk]
-    return kind, point, next_ks, recs
+    return kind, point, next_ks, recs, fincls, srank
 
 
 def _odd_hop_cols(delivery: HopDelivery):
-    """Per-row final flag and handover lookup point for odd rounds."""
+    """Per-row final flag, handover point, and delivery class for odd rounds."""
     msgs = delivery.msgs
     steps = delivery.steps.tolist()
     count = len(msgs)
     final = np.zeros(count, dtype=bool)
     point = np.zeros(count, dtype=np.float64)
+    fincls = np.zeros(count, dtype=np.int8)
+    srank = np.full(count, -1, dtype=np.int64)
+    tgt = np.zeros(count, dtype=np.float64)
     for i, m in enumerate(msgs):
         k = steps[i]
         if k >= m.final_step:
             final[i] = True
+            tgt[i] = m.target
+            fincls[i], srank[i] = _final_class(m)
         else:
             point[i] = m.trajectory[k]
-    return final, point
+    return final, point, steps, fincls, srank, tgt
 
 
-def _dedup_rows(rows: np.ndarray) -> np.ndarray:
-    """First occurrence of each row id, in arrival order (C-level dedup).
+def _intern_out_rows(
+    ctx: NodeContext,
+    msgs: list,
+    rows_to_intern: list[int],
+    steps_out: list[int],
+) -> np.ndarray:
+    """Assign outgoing plane rows to every forwardable hop, once per round.
 
-    Matches the legacy per-copy ``(message identity, step)`` seen-set: the
-    plane interned exactly those pairs into rows, and arrival order is
-    global send order either way.
+    The plane numbers rows by first-append order, and nothing observable
+    depends on the numbering — rows are opaque labels into the ``msgs`` /
+    ``steps`` columns, receiver arrival order comes from the send sequence,
+    and dedup is by row *value*.  Interning all of a round's forward keys
+    eagerly (in row order) therefore changes no behaviour, but lets every
+    node's forwarding loop file batches with C-level ``list.extend`` instead
+    of paying a dict probe per action.  Rows that end up with zero copies
+    (e.g. every holder's window was empty) simply never reach a receiver.
     """
-    uniq, first = np.unique(rows, return_index=True)
-    if uniq.size == rows.size:
-        return rows
-    first.sort()
-    return rows[first]
+    reg, pmsgs, psteps, _, _, _, _ = ctx.hop_columns()
+    reg_get = reg.get
+    out = np.full(len(msgs), -1, dtype=np.int64)
+    for row in rows_to_intern:
+        m = msgs[row]
+        k = steps_out[row]
+        # repro: allow(id-ordering): identity interning only — rows are
+        # numbered by first-append order; the id value never orders anything
+        # (mirrors HopPlane.send semantics).
+        key = (id(m) << 7) | k
+        rw = reg_get(key)
+        if rw is None:
+            rw = len(pmsgs)
+            reg[key] = rw
+            pmsgs.append(m)
+            psteps.append(k)
+        out[row] = rw
+    return out
 
 
 # How many rounds a token stays usable.  The paper discards unused tokens
@@ -225,6 +287,10 @@ class MaintenanceNode(NodeProtocol):
     def queue_probe(self, probe_id: object, target: float) -> None:
         """Ask this node to route a probe to ``S(target)`` (audit traffic)."""
         self._queued_probes.append((probe_id, target))
+
+    def publish_state(self, store, slot: int) -> None:
+        """Mirror phase/epoch/position into the engine's columnar store."""
+        store.publish(slot, _PHASE_CODES[self.phase], self.epoch, self.pos)
 
     @property
     def is_established(self) -> bool:
@@ -519,11 +585,32 @@ class MaintenanceNode(NodeProtocol):
         self.slots = [None] * (2 * self.params.delta_eff)
 
     def _cutover(self, ctx: NodeContext, e: int, creates: list[CreateBatch]) -> None:
+        # CREATE batches are memoised per interned h_index, so senders that
+        # share an index send the *same object* — identity-dedup them (a
+        # repeat adds no new keys, and duplicate keys across batches carry
+        # the identical hash-derived position).  Our own id never appears:
+        # the single producer pops the target id from its batch.
         records: dict[int, float] = {}
+        seen: set[int] = set()
         for batch in creates:
-            for rec in batch.records:
-                if rec.epoch == e and rec.node != self.id:
-                    records[rec.node] = rec.pos
+            # repro: allow(id-ordering): identity dedup only — the id value
+            # never orders anything.
+            bid = id(batch)
+            if bid in seen:
+                continue
+            seen.add(bid)
+            if batch.nodes is not None and batch.epoch == e:
+                # Producer-side columns: one C-level update per batch.  The
+                # zip pairs are exactly the (rec.node, rec.pos) loop below —
+                # same first-occurrence key order, same last-write values.
+                records.update(zip(batch.nodes, batch.poses))
+            elif batch.epoch is None:
+                for rec in batch.records:
+                    if rec.epoch == e:
+                        records[rec.node] = rec.pos
+            # A columnised batch with a different (uniform) epoch adds no
+            # keys — exactly what the per-record filter would do.
+        records.pop(self.id, None)  # defensive: equals the legacy filter
         if records:
             if self.phase is not Phase.ESTABLISHED or self.epoch is None:
                 self._first_epoch = e
@@ -610,36 +697,87 @@ class MaintenanceNode(NodeProtocol):
         """Rebroadcast each arrived join record to the current holders of the
         three Definition-5 arcs (Listing 3 line 10); arc lookups batch per
         radius (list arc at rec.pos, two De Bruijn arcs at rec.pos/2 and
-        (rec.pos+1)/2 — the order required_neighbor_arcs produced)."""
-        if join_recs:
-            rebroadcast: dict[int, list[JoinRecord]] = defaultdict(list)
+        (rec.pos+1)/2 — the order required_neighbor_arcs produced).
+
+        Observation-equivalent restatement of the legacy receiver-keyed
+        append loop: receivers get a :class:`JoinBatch` of their records in
+        record-arrival order, and the sends go out in the order receivers
+        were *first touched* by the record-major arc sweep — i.e. the
+        ``defaultdict`` insertion order the per-receiver loop produced.
+        """
+        if not join_recs:
+            return
+        # Keep-first dedup by (node, epoch) up front: ``pos`` is the hash of
+        # exactly that pair, so duplicates of a key are value-equal records
+        # with identical arc windows — the legacy per-receiver dedup kept
+        # only the first, so later duplicates contribute nothing anywhere.
+        recs = join_recs
+        if len(recs) > 1:
+            by_key: dict[tuple[int, int], JoinRecord] = {}
+            for rec in recs:
+                k = (rec.node, rec.epoch)
+                if k not in by_key:
+                    by_key[k] = rec
+            if len(by_key) < len(recs):
+                recs = list(by_key.values())
+        # A record's receiver set is a pure function of the (interned) index
+        # and the key — memoise the deduped, first-occurrence-ordered target
+        # ids on the index itself, unfiltered (my_id differs per node).
+        tcache: dict[tuple[int, int], np.ndarray] = index.scratch.setdefault(
+            "join_targets", {}
+        )  # type: ignore[assignment]
+        missing = [rec for rec in recs if (rec.node, rec.epoch) not in tcache]
+        if missing:
             list_wins = self._windows(
-                index, [rec.pos for rec in join_recs], self._list_radius
+                index, [rec.pos for rec in missing], self._list_radius
             )
             db_points: list[float] = []
-            for rec in join_recs:
+            for rec in missing:
                 db_points.append(wrap(rec.pos / 2.0))
                 db_points.append(wrap((rec.pos + 1.0) / 2.0))
             db_wins = self._windows(index, db_points, self._db_radius)
-            my_id = self.id
-            for i, rec in enumerate(join_recs):
-                for members in (list_wins[i], db_wins[2 * i], db_wins[2 * i + 1]):
-                    for w in members:
-                        if w != my_id:
-                            rebroadcast[w].append(rec)
-            for w, recs in rebroadcast.items():
-                # Deduplicate records per receiver, keep deterministic order.
-                # Keyed on (node, epoch): ``pos`` is the hash of exactly that
-                # pair, so this equals whole-record equality dedup without
-                # paying the frozen-dataclass hash per record.
-                seen: set[tuple[int, int]] = set()
-                uniq: list[JoinRecord] = []
-                for rec in recs:
-                    k = (rec.node, rec.epoch)
-                    if k not in seen:
-                        seen.add(k)
-                        uniq.append(rec)
-                ctx.send(w, JoinBatch(tuple(uniq)))
+            for i, rec in enumerate(missing):
+                tids = dict.fromkeys(
+                    list_wins[i] + db_wins[2 * i] + db_wins[2 * i + 1]
+                )
+                tcache[(rec.node, rec.epoch)] = np.fromiter(
+                    tids, dtype=np.int32, count=len(tids)
+                )
+        # Record-major target stream (receivers, parallel record indices);
+        # masking my_id first cannot reorder anyone else's first touch.
+        arrs = [tcache[(rec.node, rec.epoch)] for rec in recs]
+        if len(arrs) == 1:
+            wtargets = arrs[0]
+            ridx = np.zeros(wtargets.size, dtype=np.int32)
+        else:
+            wtargets = np.concatenate(arrs)
+            ridx = np.repeat(
+                np.arange(len(arrs), dtype=np.int32), [a.size for a in arrs]
+            )
+        keep = wtargets != self.id
+        wtargets = wtargets[keep]
+        ridx = ridx[keep]
+        if not wtargets.size:
+            return
+        # Stable sort groups each receiver's record indices in stream order
+        # (ascending record index — each receiver occurs at most once per
+        # record), and puts each receiver's *first* stream occurrence at its
+        # segment start — sorting segment starts by that occurrence recovers
+        # the legacy first-touch send order.
+        order = np.argsort(wtargets, kind="stable")
+        ws = wtargets[order]
+        ridx_sorted = ridx[order].tolist()
+        starts = np.flatnonzero(np.r_[True, ws[1:] != ws[:-1]])
+        receivers = ws[starts].tolist()
+        starts_l = starts.tolist()
+        ends_l = starts_l[1:] + [ws.size]
+        out: list[tuple[int, object]] = []
+        for k in np.argsort(order[starts]).tolist():
+            batch = JoinBatch(
+                tuple([recs[j] for j in ridx_sorted[starts_l[k]:ends_l[k]]])
+            )
+            out.append((receivers[k], batch))
+        ctx.send_singles_batch(out)
 
     def _even_hops_plane(
         self, ctx: NodeContext, delivery: HopDelivery, rows: np.ndarray
@@ -647,96 +785,161 @@ class MaintenanceNode(NodeProtocol):
         """Even-round forwarding over shared hop columns (plane receive path).
 
         Behaviour-identical to classifying per-copy ``Hop`` objects and
-        running :meth:`_forward_hops`: rows arrive in legacy inbox order,
-        dedup keeps first occurrences, and the per-action loop below draws
-        rng and files sends in exactly the legacy sequence.  Returns the
-        arrived join records for rebroadcast (in arrival order).
+        running :meth:`_forward_hops`: rows arrive in legacy inbox order
+        already deduplicated to first occurrences (the plane's delivery pass
+        reproduces the legacy per-receiver seen-set), and the per-action
+        loop below draws rng and files sends in exactly the legacy
+        sequence.  Returns the arrived join records for rebroadcast (in
+        arrival order).
         """
-        cols = delivery.cache.get("even")
+        cache = delivery.cache
+        cols = cache.get("even")
         if cols is None:
-            cols = delivery.cache["even"] = _even_hop_cols(delivery)
-        kind, point, next_ks, recs = cols
-        rows_u = _dedup_rows(rows)
+            cols = cache["even"] = _even_hop_cols(delivery)
+        kind, point, next_ks, recs, fincls, srank = cols
+        rows_u = rows
         kr = kind[rows_u]
         join_recs = [recs[row] for row in rows_u[kr == 1].tolist()]
         act_rows = rows_u[kr >= 2]
         if act_rows.size:
+            out_row = cache.get("out_even")
+            if out_row is None:
+                fwd = np.flatnonzero(kind >= 2).tolist()
+                out_row = cache["out_even"] = _intern_out_rows(
+                    ctx, delivery.msgs, fwd, next_ks
+                )
             index = self._d_members()
+            sc = index.scratch
+            ids32 = sc.get("ids32")
+            if ids32 is None:
+                ids32 = sc["ids32"] = index.ids.astype(np.int32)
             ids_list = index.ids_list
             n = len(ids_list)
             rho = self._swarm_radius
-            if rho >= 0.5:
-                a = b = wr = None
+            finals_mask = kind[act_rows] == 2
+            full_ring = rho >= 0.5
+            if full_ring:
+                ai_arr = np.zeros(act_rows.size, dtype=np.int64)
+                size_arr = np.full(act_rows.size, n, dtype=np.int64)
+                b_arr = wr_arr = None
             else:
-                a_arr, b_arr, wr_arr = index.bounds_many(point[act_rows], rho)
-                a = a_arr.tolist()
-                b = b_arr.tolist()
-                wr = wr_arr.tolist()
-            finals = (kind[act_rows] == 2).tolist()
+                ai_arr, b_arr, wr_arr = index.bounds_many(point[act_rows], rho)
+                size_arr = np.where(wr_arr, n - ai_arr + b_arr, b_arr - ai_arr)
+            mid_list = np.flatnonzero(~finals_mask & (size_arr > 0))
+            fin_idx = np.flatnonzero(finals_mask)
             msgs = delivery.msgs
             my_id = self.id
             r = self._r
-            two = r == 2
-            rnd = ctx.rng.random
-            # Fused send path: intern/append straight into the plane columns
-            # (one call per hop would dominate this innermost loop).  Sends
-            # interleave with self-deliveries exactly as before — deliveries
-            # only touch the singles lane and draw no rng.
-            reg, pmsgs, psteps, psrcs, prows, plens, pflat = ctx.hop_columns()
-            reg_get = reg.get
+            rng = ctx.rng
+            pos = self.pos
+
+            # Pass 1 — rng and node state, in row order.  ``_deliver`` runs
+            # only where the vectorised predicates say it can matter: a final
+            # row touches this node iff it is inside the target swarm, and a
+            # rank-tested token additionally iff this node's rank matches —
+            # both predicates are rng-free and bit-identical to the scalar
+            # checks inside ``_deliver``.  Mid-route picks between state
+            # finals draw in one batched ``random(r*k)`` call (the Generator
+            # stream is identical to k*r scalar draws).
+            events: list[int] = []
+            ranks_l: list[int] = []
+            if fin_idx.size:
+                fin_act = act_rows[fin_idx]
+                tgtf = point[fin_act]
+                # Window rank of this node per final (also pass 2's slice
+                # position: dropping rank ``rk`` from the member window is
+                # the ``w != my_id`` filter, ids being unique).
+                ranks_fin = index.ranks_within_many(tgtf, rho, my_id)
+                ranks_l = ranks_fin.tolist()
+                if pos is not None:
+                    gap = np.abs(pos - tgtf)
+                    inswarm = np.minimum(gap, 1.0 - gap) <= rho
+                    fc = fincls[fin_act]
+                    touch = inswarm & (fc == 0)
+                    ranked = inswarm & (fc == 1)
+                    if ranked.any():
+                        touch |= ranked & (ranks_fin == srank[fin_act])
+                    events = fin_idx[touch].tolist()
+            pick_chunks: list[np.ndarray] = []
+            cursor = 0
+            for p in events:
+                if fincls[act_rows[p]] == 1:
+                    # This delivery will draw — flush the batched mid picks
+                    # that precede it in row order first.
+                    hi = int(np.searchsorted(mid_list, p, side="left"))
+                    if hi > cursor:
+                        seg = mid_list[cursor:hi]
+                        u = rng.random(r * seg.size)
+                        ai2 = np.repeat(ai_arr[seg], r)
+                        sz2 = np.repeat(size_arr[seg], r)
+                        j = ai2 + (u * sz2).astype(np.int64)
+                        j[j >= n] -= n
+                        pick_chunks.append(ids32[j])
+                        cursor = hi
+                self._deliver(ctx, msgs[act_rows[p]])
+            if cursor < mid_list.size:
+                seg = mid_list[cursor:]
+                u = rng.random(r * seg.size)
+                ai2 = np.repeat(ai_arr[seg], r)
+                sz2 = np.repeat(size_arr[seg], r)
+                j = ai2 + (u * sz2).astype(np.int64)
+                j[j >= n] -= n
+                pick_chunks.append(ids32[j])
+
+            # Pass 2 — filing, in row order (no rng, no node state): mid runs
+            # between finals splice into the plane columns as list slices;
+            # finals multicast their member window (cached per row on
+            # the delivery — the window is index-determined, only the slice
+            # position of self differs per holder) minus self.
+            _, _, _, psrcs, prows, plens, pflat = ctx.hop_columns()
+            picks_l = (
+                np.concatenate(pick_chunks).tolist() if pick_chunks else []
+            )
+            orow_act = out_row[act_rows]
+            orow_mid_l = orow_act[mid_list].tolist()
+            fm = cache.get(("fin_members", index))
+            if fm is None:
+                fm = cache[("fin_members", index)] = {}
             total = 0
-            for i, row in enumerate(act_rows.tolist()):
-                msg = msgs[row]
-                if a is None:
-                    ai = 0
-                    size = n
-                else:
-                    ai = a[i]
-                    bi = b[i]
-                    size = n - ai + bi if wr[i] else bi - ai
-                if finals[i]:
-                    if a is None:
-                        members = ids_list
-                    elif wr[i]:
-                        members = ids_list[ai:] + ids_list[:bi]
-                    else:
-                        members = ids_list[ai:bi]
-                    dsts = [w for w in members if w != my_id]
-                    # A holder inside the target swarm delivers to itself too.
-                    if self._in_swarm(msg.target):
-                        self._deliver(ctx, msg)
-                elif size:
-                    if two:
-                        j0 = ai + int(rnd() * size)
-                        j1 = ai + int(rnd() * size)
-                        dsts = [
-                            ids_list[j0 - n] if j0 >= n else ids_list[j0],
-                            ids_list[j1 - n] if j1 >= n else ids_list[j1],
-                        ]
-                    else:
-                        dsts = []
-                        for _ in range(r):
-                            j = ai + int(rnd() * size)
-                            dsts.append(ids_list[j - n] if j >= n else ids_list[j])
-                else:
-                    continue
-                nd = len(dsts)
-                if nd:
-                    # repro: allow(id-ordering): identity interning only — rows
-                    # are numbered by first-append order; the id value never
-                    # orders anything (mirrors HopPlane.send semantics).
-                    key = (id(msg) << 7) | next_ks[row]
-                    rw = reg_get(key)
-                    if rw is None:
-                        rw = len(pmsgs)
-                        reg[key] = rw
-                        pmsgs.append(msg)
-                        psteps.append(next_ks[row])
-                    psrcs.append(my_id)
-                    prows.append(rw)
-                    plens.append(nd)
-                    pflat.extend(dsts)
-                    total += nd
+            mc = 0  # mids filed so far
+            ri = 0  # finals seen so far (ranks_l cursor)
+            fin_l = fin_idx.tolist()
+            act_l = act_rows.tolist()
+            bounds = np.searchsorted(mid_list, fin_idx, side="left").tolist()
+            bounds.append(int(mid_list.size))
+            for fpos, hi in zip(fin_l + [-1], bounds):
+                if hi > mc:
+                    k = hi - mc
+                    psrcs.extend([my_id] * k)
+                    prows.extend(orow_mid_l[mc:hi])
+                    plens.extend([r] * k)
+                    pflat.extend(picks_l[r * mc:r * hi])
+                    total += r * k
+                    mc = hi
+                if fpos >= 0:
+                    row = act_l[fpos]
+                    mem = fm.get(row)
+                    if mem is None:
+                        if full_ring:
+                            mem = ids_list
+                        elif wr_arr[fpos]:
+                            mem = (
+                                ids_list[int(ai_arr[fpos]):]
+                                + ids_list[: int(b_arr[fpos])]
+                            )
+                        else:
+                            mem = ids_list[int(ai_arr[fpos]):int(b_arr[fpos])]
+                        fm[row] = mem
+                    rk = ranks_l[ri]
+                    ri += 1
+                    dsts = mem if rk < 0 else mem[:rk] + mem[rk + 1:]
+                    nd = len(dsts)
+                    if nd:
+                        psrcs.append(my_id)
+                        prows.append(int(orow_act[fpos]))
+                        plens.append(nd)
+                        pflat.extend(dsts)
+                        total += nd
             ctx.count_hop_sends(total)
         return join_recs
 
@@ -908,106 +1111,227 @@ class MaintenanceNode(NodeProtocol):
     ) -> None:
         """Odd-round handover/delivery over shared hop columns.
 
-        Mirrors the legacy odd-round hop loop exactly: dedup to first
-        occurrences in arrival order, batch the handover window bounds over
-        the non-final rows, then walk all rows in order so final deliveries
-        (which may send and draw rng) interleave with handovers unchanged.
+        Mirrors the legacy odd-round hop loop exactly: rows arrive already
+        deduplicated to first occurrences in arrival order (the plane's
+        delivery pass), batch the handover window bounds over the non-final
+        rows, then walk all rows in order so final deliveries (which may
+        send and draw rng) interleave with handovers unchanged.
         """
-        cols = delivery.cache.get("odd")
+        cache = delivery.cache
+        cols = cache.get("odd")
         if cols is None:
-            cols = delivery.cache["odd"] = _odd_hop_cols(delivery)
-        final, point = cols
-        rows_u = _dedup_rows(rows)
+            cols = cache["odd"] = _odd_hop_cols(delivery)
+        final, point, steps, fincls, srank, tgt = cols
+        rows_u = rows
         fl = final[rows_u]
-        h_rows = rows_u[~fl]
-        ids_list = hop_index.ids_list
-        n = len(ids_list)
+        h_pos = np.flatnonzero(~fl)
+        fin_pos = np.flatnonzero(fl)
+        out_row = cache.get("out_odd")
+        if out_row is None:
+            out_row = cache["out_odd"] = _intern_out_rows(
+                ctx, delivery.msgs, np.flatnonzero(~final).tolist(), steps
+            )
+        sc = hop_index.scratch
+        ids32 = sc.get("ids32")
+        if ids32 is None:
+            ids32 = sc["ids32"] = hop_index.ids.astype(np.int32)
+        n = ids32.size
         rho = self._swarm_radius
-        if h_rows.size and rho < 0.5:
-            a_arr, b_arr, wr_arr = hop_index.bounds_many(point[h_rows], rho)
-            a = a_arr.tolist()
-            b = b_arr.tolist()
-            wr = wr_arr.tolist()
-        else:
-            a = b = wr = None
-        msgs = delivery.msgs
-        steps = delivery.steps[rows_u].tolist()
-        finals_l = fl.tolist()
-        r = self._r
-        two = r == 2
-        rnd = ctx.rng.random
-        # Fused send path — see _even_hops_plane for the invariants.
-        reg, pmsgs, psteps, psrcs, prows, plens, pflat = ctx.hop_columns()
-        reg_get = reg.get
-        my_id = self.id
-        total = 0
-        wi = 0
-        for i, row in enumerate(rows_u.tolist()):
-            msg = msgs[row]
-            if finals_l[i]:
-                self._deliver(ctx, msg)
-                continue
-            if a is None:
-                ai = 0
-                size = n
+        if h_pos.size:
+            if rho >= 0.5:
+                ai_arr = np.zeros(h_pos.size, dtype=np.int64)
+                size_arr = np.full(h_pos.size, n, dtype=np.int64)
             else:
-                ai = a[wi]
-                size = n - ai + b[wi] if wr[wi] else b[wi] - ai
-            wi += 1
-            if size:
-                if two:
-                    j0 = ai + int(rnd() * size)
-                    j1 = ai + int(rnd() * size)
-                    picks = [
-                        ids_list[j0 - n] if j0 >= n else ids_list[j0],
-                        ids_list[j1 - n] if j1 >= n else ids_list[j1],
-                    ]
-                else:
-                    picks = []
-                    for _ in range(r):
-                        j = ai + int(rnd() * size)
-                        picks.append(ids_list[j - n] if j >= n else ids_list[j])
-                # repro: allow(id-ordering): identity interning only — rows are
-                # numbered by first-append order; the id value never orders
-                # anything (mirrors HopPlane.send semantics).
-                key = (id(msg) << 7) | steps[i]
-                rw = reg_get(key)
-                if rw is None:
-                    rw = len(pmsgs)
-                    reg[key] = rw
-                    pmsgs.append(msg)
-                    psteps.append(steps[i])
-                psrcs.append(my_id)
-                prows.append(rw)
-                plens.append(len(picks))
-                pflat.extend(picks)
-                total += len(picks)
-        ctx.count_hop_sends(total)
+                ai_arr, b_arr, wr_arr = hop_index.bounds_many(
+                    point[rows_u[h_pos]], rho
+                )
+                size_arr = np.where(wr_arr, n - ai_arr + b_arr, b_arr - ai_arr)
+            mid_sel = size_arr > 0
+            mid_list = h_pos[mid_sel]
+            ai_m = ai_arr[mid_sel]
+            size_m = size_arr[mid_sel]
+        else:
+            mid_list = h_pos
+            ai_m = size_m = np.empty(0, dtype=np.int64)
+        msgs = delivery.msgs
+        my_id = self.id
+        r = self._r
+        rng = ctx.rng
+
+        # Pass 1 — rng and node state, in row order (see _even_hops_plane).
+        # Odd finals always reach ``_deliver`` in the legacy loop, but only
+        # record-class rows and rank-matching tokens do anything — both
+        # predicted here without rng (the rank test uses the *current*
+        # overlay members, not ``hop_index``).
+        events: list[int] = []
+        if fin_pos.size:
+            fr = rows_u[fin_pos]
+            fc = fincls[fr]
+            touch = fc == 0
+            ranked = fc == 1
+            if ranked.any():
+                ranks = self._d_members().ranks_within_many(
+                    tgt[fr], rho, my_id
+                )
+                touch |= ranked & (ranks == srank[fr])
+            events = fin_pos[touch].tolist()
+        pick_chunks: list[np.ndarray] = []
+        cursor = 0
+        for p in events:
+            if fincls[rows_u[p]] == 1:
+                hi = int(np.searchsorted(mid_list, p, side="left"))
+                if hi > cursor:
+                    u = rng.random(r * (hi - cursor))
+                    ai2 = np.repeat(ai_m[cursor:hi], r)
+                    sz2 = np.repeat(size_m[cursor:hi], r)
+                    j = ai2 + (u * sz2).astype(np.int64)
+                    j[j >= n] -= n
+                    pick_chunks.append(ids32[j])
+                    cursor = hi
+            self._deliver(ctx, msgs[rows_u[p]])
+        if cursor < mid_list.size:
+            u = rng.random(r * (mid_list.size - cursor))
+            ai2 = np.repeat(ai_m[cursor:], r)
+            sz2 = np.repeat(size_m[cursor:], r)
+            j = ai2 + (u * sz2).astype(np.int64)
+            j[j >= n] -= n
+            pick_chunks.append(ids32[j])
+
+        # Pass 2 — filing.  Odd finals file nothing, so the handover copies
+        # go out in one batched extend (mid row order is preserved).
+        k = int(mid_list.size)
+        if k:
+            _, _, _, psrcs, prows, plens, pflat = ctx.hop_columns()
+            psrcs.extend([my_id] * k)
+            prows.extend(out_row[rows_u[mid_list]].tolist())
+            plens.extend([r] * k)
+            pflat.extend(np.concatenate(pick_chunks).tolist())
+            ctx.count_hop_sends(r * k)
 
     def _matchmake(self, ctx: NodeContext, h_index: PositionIndex) -> None:
         """Send each next-overlay node its Definition-5 neighbours (CREATE).
 
-        The three ``required_neighbor_arcs`` lookups per record batch into
-        one :meth:`_windows` sweep per radius; records deduplicate on node
-        ids (id -> record is injective) to spare dataclass hashing.
+        The batch for a target ``v`` is a pure function of the (epoch-
+        interned) ``h_index``: the arc members come from the index, and the
+        records they resolve to are ``JoinRecord(w, h_index position, e)``
+        for every member ``w`` — identical at every node sharing the index.
+        The batches are therefore memoised on the index itself and computed
+        once network-wide; each node still *sends* them in its own
+        ``h_records`` arrival order, exactly as before.  The three
+        ``required_neighbor_arcs`` lookups per record batch into one
+        :meth:`_windows` sweep per radius; records deduplicate on node ids
+        (id -> record is injective) to spare dataclass hashing.
         """
         items = list(self.h_records.items())
-        list_wins = self._windows(
-            h_index, [rec.pos for _, rec in items], self._list_radius
-        )
-        db_points: list[float] = []
-        for _, rec in items:
-            db_points.append(wrap(rec.pos / 2.0))
-            db_points.append(wrap((rec.pos + 1.0) / 2.0))
-        db_wins = self._windows(h_index, db_points, self._db_radius)
-        h_records = self.h_records
-        for i, (v, rec) in enumerate(items):
-            neighbor_ids = list_wins[i] + db_wins[2 * i] + db_wins[2 * i + 1]
-            records = tuple(
-                h_records[w] for w in dict.fromkeys(neighbor_ids) if w != v
+        sc = h_index.scratch
+        batches: dict[int, CreateBatch] = sc.setdefault(
+            "create_batches", {}
+        )  # type: ignore[assignment]
+        missing = [(v, rec) for v, rec in items if v not in batches]
+        if missing:
+            # Index ids resolve to the same record values at every node
+            # (h_index is built exactly from h_records), so the slot-aligned
+            # record list is itself a pure function of the index.
+            rl: list[JoinRecord] | None = sc.get("h_rec_list")  # type: ignore[assignment]
+            if rl is None:
+                h_records = self.h_records
+                rl = sc["h_rec_list"] = [h_records[w] for w in h_index.ids_list]
+            pl: list[float] | None = sc.get("h_pos_list")  # type: ignore[assignment]
+            if pl is None:
+                pl = sc["h_pos_list"] = [r.pos for r in rl]
+            la, lb, lw, ids_l, _n = self._window_bounds(
+                h_index, [rec.pos for _, rec in missing], self._list_radius
             )
-            # An empty batch still signals the cutover to v.
-            ctx.send(v, CreateBatch(records))
+            db_points: list[float] = []
+            for _, rec in missing:
+                db_points.append(wrap(rec.pos / 2.0))
+                db_points.append(wrap((rec.pos + 1.0) / 2.0))
+            da, db_b, dw = self._window_bounds(h_index, db_points, self._db_radius)[:3]
+
+            def _arc(a, b, wr, j):
+                # One arc as parallel (ids, poses, records) ring slices.
+                if a is None:
+                    return ids_l, pl, rl
+                a0, b0 = a[j], b[j]
+                if wr[j]:
+                    return (
+                        ids_l[a0:] + ids_l[:b0],
+                        pl[a0:] + pl[:b0],
+                        rl[a0:] + rl[:b0],
+                    )
+                return ids_l[a0:b0], pl[a0:b0], rl[a0:b0]
+
+            # Disjoint-arc fast path: the arc centers are pos, pos/2 and
+            # (pos+1)/2 — the De Bruijn pair sits exactly antipodal, and the
+            # list arc clears both whenever pos keeps a circle distance of
+            # more than (list+db radius) from each, i.e. for
+            # 2*(r_l + r_d) < pos < 1 - 2*(r_l + r_d).  Disjoint position
+            # intervals share no members, and v itself sits at the list-arc
+            # center, so first-occurrence dedup is the identity and the
+            # batch is plain slices with v's own slot excised.
+            def _exc(seq, a0, b0, w, p):
+                # The list arc with slot ``p`` (the target's own) excised.
+                if w:
+                    if p >= a0:
+                        return seq[a0:p] + seq[p + 1:] + seq[:b0]
+                    return seq[a0:] + seq[:p] + seq[p + 1:b0]
+                return seq[a0:p] + seq[p + 1:b0]
+
+            slots = h_index.slot_map
+            margin = 2.0 * (self._list_radius + self._db_radius)
+            fast_ok = la is not None and da is not None and self._db_radius < 0.25
+            # Cross-index batch memo, keyed on the arc ids themselves: two
+            # producers with different H sets (hence different interned
+            # indexes) still build the identical batch for ``v`` whenever
+            # their arcs around ``v`` agree — record values are
+            # ``JoinRecord(w, h(w, e), e)`` by construction, so the id
+            # column determines the whole batch.  Scoped to the round: the
+            # target epoch is round-constant.
+            rs = (
+                self._epoch_cache.round_scratch(ctx.round)
+                if self._epoch_cache is not None
+                else None
+            )
+            for i, (v, rec) in enumerate(missing):
+                j = 2 * i
+                if fast_ok and margin < rec.pos < 1.0 - margin:
+                    p = slots[v]
+                    a0, b0, w0 = la[i], lb[i], lw[i]
+                    i1, p1, r1 = _arc(da, db_b, dw, j)
+                    i2, p2, r2 = _arc(da, db_b, dw, j + 1)
+                    nodes = tuple(_exc(ids_l, a0, b0, w0, p) + i1 + i2)
+                    if rs is not None:
+                        gkey = (v, nodes)
+                        shared = rs.get(gkey)
+                        if shared is not None:
+                            batches[v] = shared
+                            continue
+                    batch = CreateBatch(
+                        tuple(_exc(rl, a0, b0, w0, p) + r1 + r2),
+                        nodes,
+                        tuple(_exc(pl, a0, b0, w0, p) + p1 + p2),
+                        rec.epoch,
+                    )
+                    batches[v] = batch
+                    if rs is not None:
+                        rs[gkey] = batch
+                    continue
+                i0, p0, r0 = _arc(la, lb, lw, i)
+                i1, p1, r1 = _arc(da, db_b, dw, j)
+                i2, p2, r2 = _arc(da, db_b, dw, j + 1)
+                # dict(zip(...)) keeps first-occurrence key order; duplicate
+                # keys overwrite with the identical slot record, so values()
+                # equals the first-occurrence id dedup resolved to records.
+                ids = i0 + i1 + i2
+                d = dict(zip(ids, r0 + r1 + r2))
+                dp = dict(zip(ids, p0 + p1 + p2))
+                d.pop(v, None)
+                dp.pop(v, None)
+                batches[v] = CreateBatch(
+                    tuple(d.values()), tuple(d), tuple(dp.values()), rec.epoch
+                )
+        # An empty batch still signals the cutover to v.
+        ctx.send_singles_batch([(v, batches[v]) for v, _rec in items])
 
     # ------------------------------------------------------------------
     # Final deliveries

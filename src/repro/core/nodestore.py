@@ -1,0 +1,188 @@
+"""Columnar (struct-of-arrays) store for per-node scalar protocol state.
+
+The protocol objects in :mod:`repro.core.node` keep their *working* state as
+plain attributes — dicts, lists, message references — but the scalar core of
+that state (lifecycle phase, overlay epoch, ring position) is mirrored here
+as dense NumPy columns indexed by a stable per-node **slot**.  The store is
+the engine-side published snapshot of every node, in the same spirit as the
+columnar hop plane (:mod:`repro.sim.hopplane`): one array per field, one row
+per node, no per-node object walks to answer population-level questions.
+
+Why it exists:
+
+* **Sharding** — the multi-process round engine (:mod:`repro.sim.shard`)
+  maps these columns into ``multiprocessing.shared_memory``; each worker
+  publishes the scalars of its band directly into its slice of the slab, so
+  the master can read population state (phase counts, established ids)
+  without gathering any Python objects.
+* **Cheap aggregate reads** — established fraction / phase histograms are
+  vectorised column reductions instead of per-protocol attribute probes.
+
+The object-held state that remains attribute-based (``d_nbrs``,
+``h_records``, token and slot lists, in-flight messages) is the documented
+array-of-structs tail: it is irregular per node and crosses the process
+boundary only at explicit gather points.
+
+Slots are assigned once per node id and never reused while the node is
+alive; a retired node's row is marked ``PHASE_EMPTY``.  Rows are assigned in
+first-``ensure`` order, so a population seeded band-by-band keeps each
+band's rows contiguous — a shard's state is then literally an array slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PHASE_EMPTY",
+    "PHASE_NEW",
+    "PHASE_FRESH",
+    "PHASE_ESTABLISHED",
+    "NodeStore",
+]
+
+# Phase codes (int8).  Defined here, mapped from the protocol's Phase enum by
+# the protocol itself, so this module stays import-free of the node layer.
+PHASE_EMPTY = -1
+PHASE_NEW = 0
+PHASE_FRESH = 1
+PHASE_ESTABLISHED = 2
+
+
+class NodeStore:
+    """Dense per-node scalar columns: ``phase``, ``epoch``, ``pos``.
+
+    ``capacity`` fixes the row count when external buffers are used (shared
+    memory cannot grow in place); the private-memory default grows
+    geometrically on demand.
+    """
+
+    __slots__ = ("phase", "epoch", "pos", "_slot_of", "_ids", "_fixed")
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        buffers: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        if buffers is not None:
+            self.phase, self.epoch, self.pos = buffers
+            self._fixed = True
+        else:
+            self.phase = np.full(capacity, PHASE_EMPTY, dtype=np.int8)
+            self.epoch = np.full(capacity, -1, dtype=np.int64)
+            self.pos = np.full(capacity, np.nan, dtype=np.float64)
+            self._fixed = False
+        self._slot_of: dict[int, int] = {}
+        self._ids: list[int] = []  # slot -> node id, in assignment order
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def capacity(self) -> int:
+        return int(self.phase.shape[0])
+
+    def slot_of(self, node_id: int) -> int:
+        """The assigned slot of ``node_id`` (KeyError if never ensured)."""
+        return self._slot_of[node_id]
+
+    def ensure(self, node_id: int) -> int:
+        """Assign (or look up) the slot for ``node_id``."""
+        slot = self._slot_of.get(node_id)
+        if slot is not None:
+            return slot
+        slot = len(self._ids)
+        if slot >= self.capacity:
+            if self._fixed:
+                raise RuntimeError(
+                    f"NodeStore over capacity ({self.capacity}): shared slabs "
+                    "cannot grow; allocate more headroom at share time"
+                )
+            self._grow(max(2 * self.capacity, slot + 1))
+        self._slot_of[node_id] = slot
+        self._ids.append(node_id)
+        self.phase[slot] = PHASE_NEW
+        return slot
+
+    def _grow(self, capacity: int) -> None:
+        for name in ("phase", "epoch", "pos"):
+            old = getattr(self, name)
+            new = np.full(capacity, PHASE_EMPTY, dtype=old.dtype)
+            if name == "pos":
+                new = np.full(capacity, np.nan, dtype=old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    def adopt(self, node_id: int, slot: int) -> None:
+        """Record an externally assigned slot for ``node_id``.
+
+        Shard workers mirror the master's slot assignment for joins (the
+        master is the single allocator; see :mod:`repro.sim.shard`), so the
+        shared columns are never written at conflicting rows.
+        """
+        self._slot_of[node_id] = slot
+        if slot >= len(self._ids):
+            self._ids.extend([-1] * (slot + 1 - len(self._ids)))
+        self._ids[slot] = node_id
+
+    def retire(self, node_id: int) -> None:
+        """Mark a departed node's row empty (the slot is not reused)."""
+        slot = self._slot_of.get(node_id)
+        if slot is not None:
+            self.phase[slot] = PHASE_EMPTY
+            self.epoch[slot] = -1
+            self.pos[slot] = np.nan
+
+    # ------------------------------------------------------------------
+    # Publishing and aggregate reads
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, slot: int, phase: int, epoch: int | None, pos: float | None
+    ) -> None:
+        """Write one node's scalar snapshot (``None`` maps to -1 / NaN)."""
+        self.phase[slot] = phase
+        self.epoch[slot] = -1 if epoch is None else epoch
+        self.pos[slot] = np.nan if pos is None else pos
+
+    def ids_in_phase(self, phase: int) -> list[int]:
+        """Node ids currently published in ``phase``, in id order."""
+        slots = np.flatnonzero(self.phase[: len(self._ids)] == phase)
+        return sorted(self._ids[s] for s in slots.tolist())
+
+    def phase_counts(self) -> dict[int, int]:
+        """Histogram of published phase codes over live rows."""
+        live = self.phase[: len(self._ids)]
+        codes, counts = np.unique(live[live != PHASE_EMPTY], return_counts=True)
+        return dict(zip(codes.tolist(), counts.tolist()))
+
+    # ------------------------------------------------------------------
+    # Shared-memory plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def nbytes_for(capacity: int) -> int:
+        """Slab size (bytes) needed to back ``capacity`` rows."""
+        return capacity * (1 + 8 + 8)
+
+    @staticmethod
+    def views_over(buf: memoryview, capacity: int) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """Carve (phase, epoch, pos) column views out of one flat buffer."""
+        o1 = capacity  # int8 phase column
+        o2 = o1 + 8 * capacity
+        phase = np.frombuffer(buf, dtype=np.int8, count=capacity, offset=0)
+        epoch = np.frombuffer(buf, dtype=np.int64, count=capacity, offset=o1)
+        pos = np.frombuffer(buf, dtype=np.float64, count=capacity, offset=o2)
+        return phase, epoch, pos
+
+    def init_fixed_views(self) -> None:
+        """Initialise freshly mapped shared views to the empty pattern."""
+        self.phase.fill(PHASE_EMPTY)
+        self.epoch.fill(-1)
+        self.pos.fill(np.nan)

@@ -83,6 +83,7 @@ class MaintenanceSimulation:
         profiler: PhaseProfiler | None = None,
         epoch_cache: bool = True,
         hop_plane: bool = True,
+        workers: int = 1,
     ) -> None:
         self.params = params
         self.health = health
@@ -98,6 +99,7 @@ class MaintenanceSimulation:
             profiler=profiler,
             epoch_cache=epoch_cache,
             hop_plane=hop_plane,
+            workers=workers,
         )
         self.engine.seed_nodes(range(params.n))
         if distributed_bootstrap:
@@ -119,6 +121,16 @@ class MaintenanceSimulation:
 
     def run(self, rounds: int) -> None:
         self.engine.run(rounds)
+
+    def close(self) -> None:
+        """Release engine resources (shard workers / shared slabs)."""
+        self.engine.close()
+
+    def __enter__(self) -> "MaintenanceSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def round(self) -> int:
@@ -163,6 +175,11 @@ class MaintenanceSimulation:
             probe_id = ("p", self._probe_counter)
             self._probe_counter += 1
             self.node(origin).queue_probe(probe_id, target)
+            # Under sharding the live instance is worker-owned; replay the
+            # mutation there before the next compute phase.
+            self.engine.forward_node_call(
+                origin, "queue_probe", (probe_id, target)
+            )
             self._probe_targets[probe_id] = target
             ids.append(probe_id)
         return ids

@@ -65,7 +65,15 @@ class PositionIndex:
         Mapping from node id to position in ``[0, 1)``.
     """
 
-    __slots__ = ("_ids", "_pos", "_by_id", "_ids_list", "_pos_list", "_slot_by_id")
+    __slots__ = (
+        "_ids",
+        "_pos",
+        "_by_id",
+        "_ids_list",
+        "_pos_list",
+        "_slot_by_id",
+        "_scratch",
+    )
 
     def __init__(self, positions: Mapping[int, float]) -> None:
         # repro: allow(unordered-iteration): dict .keys() is insertion-ordered
@@ -82,6 +90,7 @@ class PositionIndex:
         self._ids_list: list[int] | None = None
         self._pos_list: list[float] | None = None
         self._slot_by_id: dict[int, int] | None = None
+        self._scratch: dict[object, object] | None = None
 
     @classmethod
     def _from_sorted(cls, ids: np.ndarray, pos: np.ndarray) -> "PositionIndex":
@@ -93,7 +102,24 @@ class PositionIndex:
         obj._ids_list = None
         obj._pos_list = None
         obj._slot_by_id = None
+        obj._scratch = None
         return obj
+
+    @property
+    def scratch(self) -> dict[object, object]:
+        """Consumer memo space, living exactly as long as the index.
+
+        Interned indexes are shared across every node with the same member
+        set (see ``EpochCache.index_for``), so values derived purely from
+        the positions in this index — window member tuples, per-target
+        record batches — can be computed once and reused network-wide.
+        Callers must only store data that is a pure function of the index
+        contents (plus globally fixed parameters), never per-node state.
+        """
+        scratch = self._scratch
+        if scratch is None:
+            scratch = self._scratch = {}
+        return scratch
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -120,6 +146,15 @@ class PositionIndex:
             slots = {v: i for i, v in enumerate(self.ids_list)}
             self._slot_by_id = slots
         return slots
+
+    @property
+    def slot_map(self) -> dict[int, int]:
+        """The lazy id -> sorted-array-slot dict (do not mutate).
+
+        Slot ``i`` means ``ids_list[i]``; hot paths use it to excise one
+        known member from a window slice without scanning for it.
+        """
+        return self._slots()
 
     @property
     def ids(self) -> np.ndarray:
@@ -268,6 +303,34 @@ class PositionIndex:
         if slot < b:
             return n - a + slot
         return None
+
+    def ranks_within_many(
+        self, centers: np.ndarray, radius: float, node_id: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`rank_within` over many arc centers.
+
+        Returns one rank per center, with ``-1`` where ``node_id`` lies
+        outside that arc (the array stand-in for the scalar ``None``).
+        Element ``i`` equals ``rank_within(centers[i], radius, node_id)``
+        bit for bit: the bounds come from :meth:`bounds_many`, which is
+        IEEE-identical to the scalar bounds path.
+        """
+        out = np.full(centers.shape, -1, dtype=np.int64)
+        slot = self._slots().get(node_id)
+        if slot is None:
+            return out
+        if radius >= 0.5:
+            out[:] = slot
+            return out
+        n = self._ids.size
+        a, b, wrapped = self.bounds_many(centers, radius)
+        plain = ~wrapped & (a <= slot) & (slot < b)
+        out[plain] = slot - a[plain]
+        high = wrapped & (slot >= a)
+        out[high] = slot - a[high]
+        low = wrapped & (slot < a) & (slot < b)
+        out[low] = n - a[low] + slot
+        return out
 
     def indices_in_arc(self, arc: Arc) -> np.ndarray:
         """Sorted-array indices of all nodes inside the arc (endpoint-inclusive)."""

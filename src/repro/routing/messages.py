@@ -21,7 +21,7 @@ from repro.overlay.trajectory import trajectory
 __all__ = ["RoutedMessage", "Hop", "make_routed_message"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoutedMessage:
     """One routing request (shared by all of its in-flight copies).
 

@@ -29,6 +29,7 @@ from repro.adversary.base import Adversary, ChurnDecision
 from repro.adversary.budget import ChurnLedger, ChurnViolation
 from repro.adversary.view import AdversaryView
 from repro.config import ProtocolParams
+from repro.core.nodestore import NodeStore
 from repro.faults.health import DegradationEvent, HealthMonitor
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -39,6 +40,7 @@ from repro.sim.metrics import MetricsCollector, RoundMetrics
 from repro.sim.network import Inbox, Network
 from repro.sim.profile import PhaseProfiler, PhaseTimings
 from repro.sim.trace import GraphTrace
+from repro.util.gctune import deferred_gc
 from repro.util.rngs import PositionHash, RngService
 
 __all__ = [
@@ -128,6 +130,15 @@ class NodeContext:
         """Send ``msg`` to node ``dst`` (delivered next round)."""
         self._network.send(self.node_id, dst, msg)
 
+    def send_singles_batch(self, items: list[tuple[int, object]]) -> None:
+        """Send many single-receiver messages at once (plain-``int`` dsts).
+
+        Order-equivalent to calling :meth:`send` per ``(dst, msg)`` item.
+        Hot-path helper for the matchmaking and join-rebroadcast loops,
+        which send one distinct payload per receiver.
+        """
+        self._network.send_singles_batch(self.node_id, items)
+
     def send_many(self, dsts: Sequence[int] | Iterable[int], msg: object) -> None:
         """Send the same message to several nodes."""
         self._network.send_many(self.node_id, dsts, msg)
@@ -181,6 +192,15 @@ class NodeProtocol(abc.ABC):
     def on_round(self, ctx: NodeContext) -> None:
         """Handle one round: read ``ctx.inbox``, update state, send messages."""
 
+    def publish_state(self, store: NodeStore, slot: int) -> None:
+        """Mirror this node's scalar state into its columnar store row.
+
+        Called by the engine after every compute phase (and by shard
+        workers for their band).  The default publishes nothing — the row
+        keeps its ensure-time pattern; protocols with phase/epoch/position
+        scalars override this with one :meth:`NodeStore.publish` call.
+        """
+
 
 ProtocolFactory = Callable[[int, EngineServices], NodeProtocol]
 
@@ -221,7 +241,16 @@ class Engine:
         profiler: PhaseProfiler | None = None,
         epoch_cache: bool = True,
         hop_plane: bool = True,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1 and health is not None:
+            # HealthMonitor probes protocol objects every round; under
+            # sharding that would force a full gather per round, silently
+            # erasing the decomposition.  Keep the combination an explicit
+            # error instead of a 10x slowdown.
+            raise ValueError("health monitoring requires workers=1")
         self.params = params
         self.rng_service = RngService(params.seed)
         position_hash = self.rng_service.position_hash()
@@ -264,6 +293,15 @@ class Engine:
         self._protocols: dict[int, NodeProtocol] = {}
         self._rngs: dict[int, np.random.Generator] = {}
         self.reports: list[RoundReport] = []
+        #: Columnar scalar snapshot of every node (phase/epoch/position).
+        #: At ``workers > 1`` the shard runner re-homes it into a
+        #: shared-memory slab with band-contiguous rows before forking.
+        self.node_store = NodeStore()
+        self.workers = workers
+        self._shard = None  # built lazily at the first sharded run_round
+        self._shard_bands: dict[int, int] = {}
+        self._gathered_round = -1
+        self._pending_node_calls: list[tuple[int, str, tuple]] = []
 
     # ------------------------------------------------------------------
     # Population management
@@ -285,10 +323,40 @@ class Engine:
     def _spawn(self, v: int) -> None:
         self._protocols[v] = self.protocol_factory(v, self.services)
         self._rngs[v] = self.rng_service.node_stream(v)
+        self.node_store.ensure(v)
 
     def protocol_of(self, v: int) -> NodeProtocol:
-        """The protocol instance of an alive node (for audits and tests)."""
+        """The protocol instance of an alive node (for audits and tests).
+
+        Under sharding the returned object is the master's snapshot of the
+        worker-owned instance: the first access per round gathers every
+        node's state from the owning workers (lazy, cached until the next
+        sharded compute phase), so audits and fingerprints read exactly
+        what the workers hold without any per-round cost on runs that
+        never look.
+        """
+        if self._shard is not None and self._gathered_round != self.round:
+            self._shard.sync_protocols()
+            self._gathered_round = self.round
         return self._protocols[v]
+
+    def forward_node_call(self, v: int, name: str, args: tuple = ()) -> None:
+        """Mirror an out-of-band mutation of node ``v`` to its owning shard.
+
+        Harness helpers (e.g. probe queueing) mutate protocol objects
+        between rounds.  At ``workers == 1`` the caller already touched the
+        live object and this is a no-op; under sharding the call is queued
+        and replayed by the owning worker at the start of the next round's
+        compute phase, before any ``on_round``.
+        """
+        if self._shard is not None:
+            self._shard.forward_call(v, name, args)
+
+    def close(self) -> None:
+        """Shut down shard workers and release shared slabs (W=1: no-op)."""
+        if self._shard is not None:
+            self._shard.close()
+            self._shard = None
 
     @property
     def alive(self) -> frozenset[int]:
@@ -335,6 +403,7 @@ class Engine:
             self.lifecycle.remove(v, t)
             self._protocols.pop(v, None)
             self._rngs.pop(v, None)
+            self.node_store.retire(v)
         join_notices: dict[int, list[JoinNotice]] = {}
         for j in decision.joins:
             self.lifecycle.add(j.new_id, t)
@@ -371,22 +440,32 @@ class Engine:
         ordered = self._sorted_alive
         if ordered is None or decision.leaves or decision.joins:
             ordered = self._sorted_alive = sorted(alive)
-        hop_rows = hop_delivery.rows if hop_delivery is not None else None
-        for v in ordered:
-            if self.faults is not None and self.faults.stalled(t, v):
-                continue
-            ctx = NodeContext(
-                node_id=v,
-                t=t,
-                inbox=inboxes.get(v, []),
-                rng=self._rngs[v],
-                params=self.params,
-                joined_round=self.lifecycle.joined_round(v),
-                network=self.network,
-                hops=hop_rows.get(v) if hop_rows is not None else None,
-                hop_delivery=hop_delivery,
-            )
-            self._protocols[v].on_round(ctx)
+        if self.workers > 1:
+            if self._shard is None:
+                from repro.sim.shard import ShardRunner
+
+                self._shard = ShardRunner(self, self.workers)
+            self._shard.run_compute(t, decision, inboxes, hop_delivery, ordered)
+        else:
+            hop_rows = hop_delivery.rows if hop_delivery is not None else None
+            for v in ordered:
+                if self.faults is not None and self.faults.stalled(t, v):
+                    continue
+                ctx = NodeContext(
+                    node_id=v,
+                    t=t,
+                    inbox=inboxes.get(v, []),
+                    rng=self._rngs[v],
+                    params=self.params,
+                    joined_round=self.lifecycle.joined_round(v),
+                    network=self.network,
+                    hops=hop_rows.get(v) if hop_rows is not None else None,
+                    hop_delivery=hop_delivery,
+                )
+                self._protocols[v].on_round(ctx)
+            store = self.node_store
+            for v in ordered:
+                self._protocols[v].publish_state(store, store.slot_of(v))
         if clock is not None:
             _t3 = clock()
 
@@ -402,7 +481,12 @@ class Engine:
         phases: PhaseTimings | None = None
         if clock is not None:
             _t4 = clock()
-            phases = prof.record(_t1 - _t0, _t2 - _t1, _t3 - _t2, _t4 - _t3)
+            shard_secs = (
+                self._shard.last_shard_seconds if self._shard is not None else ()
+            )
+            phases = prof.record(
+                _t1 - _t0, _t2 - _t1, _t3 - _t2, _t4 - _t3, shards=shard_secs
+            )
         metrics = self.metrics.record_round(
             t, sent, received, len(alive), faults=fault_stats, phases=phases
         )
@@ -421,5 +505,13 @@ class Engine:
         return report
 
     def run(self, rounds: int) -> list[RoundReport]:
-        """Run ``rounds`` consecutive rounds and return their reports."""
-        return [self.run_round() for _ in range(rounds)]
+        """Run ``rounds`` consecutive rounds and return their reports.
+
+        The loop runs under :func:`~repro.util.gctune.deferred_gc`: the
+        round allocates tracked containers far faster than it creates
+        cycles, and default-cadence full-heap collections cost ~30% of round
+        time at n=512 while reclaiming nothing (the protocol object graph
+        is acyclic).  Single ``run_round`` calls are left untouched.
+        """
+        with deferred_gc():
+            return [self.run_round() for _ in range(rounds)]

@@ -42,15 +42,29 @@ import numpy as np
 __all__ = ["HopPlane", "FrozenHopRound", "HopDelivery"]
 
 
+def _freeze_i32(col: list[int]) -> np.ndarray:
+    """One-shot int32 conversion of a live append column.
+
+    The live plane appends into plain Python lists — extending a list with a
+    list is a pointer memcpy, an order of magnitude cheaper per call than
+    ``array('i').extend``'s per-item ``__index__`` conversions on the hot
+    forwarding paths — and pays the machine-typing cost exactly once here,
+    as a single C-level conversion at freeze time.
+    """
+    return np.array(col, dtype=np.int32)
+
+
 class HopDelivery:
     """One round's hop arrivals, grouped by receiver.
 
     ``msgs``/``steps`` are the shared per-row columns (row id -> logical
     hop); ``rows`` maps each surviving receiver to its row-id array in
-    arrival order (duplicates included — receivers deduplicate themselves,
-    exactly like the legacy inbox path).  ``cache`` is scratch space where
-    the protocol layer memoises derived per-row columns so classification
-    runs once per round, not once per receiver.
+    arrival order, already deduplicated to first occurrences (the same
+    result as the legacy per-receiver ``(message identity, step)`` seen-set,
+    computed in one vectorised pass at delivery).  ``counts`` keeps the
+    pre-dedup copy count per receiver — the legacy inbox length.  ``cache``
+    is scratch space where the protocol layer memoises derived per-row
+    columns so classification runs once per round, not once per receiver.
     """
 
     __slots__ = ("msgs", "steps", "rows", "counts", "total", "cache")
@@ -72,7 +86,13 @@ class HopDelivery:
 
 
 class FrozenHopRound:
-    """The immutable hop traffic of one closed send phase."""
+    """The immutable hop traffic of one closed send phase.
+
+    Columns are frozen into NumPy arrays at close time: the append lists the
+    live plane grew are released immediately, so a pending round (and the
+    trace's :class:`~repro.sim.network.EdgeLog`, which shares this object)
+    holds 8-byte machine ints instead of Python list slots plus boxed ints.
+    """
 
     __slots__ = ("msgs", "steps", "srcs", "send_rows", "lens", "flat")
 
@@ -86,32 +106,37 @@ class FrozenHopRound:
         flat: list[int],
     ) -> None:
         self.msgs = msgs
-        self.steps = steps
-        self.srcs = srcs
-        self.send_rows = send_rows
-        self.lens = lens
-        self.flat = flat
+        self.steps = np.array(steps, dtype=np.int32)
+        self.srcs = _freeze_i32(srcs)
+        self.send_rows = _freeze_i32(send_rows)
+        self.lens = _freeze_i32(lens)
+        self.flat = _freeze_i32(flat)
 
     def copies(self) -> int:
         """Total receiver copies frozen in this round."""
-        return len(self.flat)
+        return int(self.flat.size)
+
+    def edge_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The round's hop edges as ``(srcs, dsts)`` per-copy id arrays."""
+        return np.repeat(self.srcs, self.lens), self.flat
 
     def iter_edges(self):
         """Yield ``(src, dst)`` per copy, in send order (EdgeLog expansion)."""
-        flat = self.flat
-        pos = 0
-        for src, ln in zip(self.srcs, self.lens):
-            for dst in flat[pos:pos + ln]:
-                yield (src, dst)
-            pos += ln
+        srcs, dsts = self.edge_columns()
+        return zip(srcs.tolist(), dsts.tolist())
 
     def deliver(self, alive) -> HopDelivery:
-        """Group the copies by surviving receiver (one stable argsort)."""
-        flat = np.array(self.flat, dtype=np.int64)
-        rows = np.repeat(
-            np.array(self.send_rows, dtype=np.int64),
-            np.array(self.lens, dtype=np.int64),
-        )
+        """Group the copies by surviving receiver (one stable argsort).
+
+        Each receiver's rows are deduplicated to first occurrences here, in
+        one vectorised pass for the whole network, instead of per receiving
+        node: the stable sort keeps arrival order inside a segment, and the
+        ``(receiver, row)`` unique-index mask keeps exactly the copies a
+        per-node ``dict.fromkeys`` would have kept.  ``counts`` stays
+        pre-dedup — it mirrors the legacy inbox length.
+        """
+        flat = self.flat
+        rows = np.repeat(self.send_rows, self.lens)
         order = np.argsort(flat, kind="stable")  # stable: keep send order per dst
         dst_sorted = flat[order]
         row_sorted = rows[order]
@@ -119,21 +144,34 @@ class FrozenHopRound:
             starts = np.flatnonzero(np.r_[True, dst_sorted[1:] != dst_sorted[:-1]])
             ends = np.r_[starts[1:], dst_sorted.size]
             receivers = dst_sorted[starts].tolist()
+            key = (dst_sorted.astype(np.int64) << 32) | row_sorted
+            uniq, first = np.unique(key, return_index=True)
+            if uniq.size != key.size:
+                mask = np.zeros(key.size, dtype=bool)
+                mask[first] = True
+                row_kept = row_sorted[mask]
+                csum0 = np.r_[0, np.cumsum(mask)]
+                kept_starts = csum0[starts].tolist()
+                kept_ends = csum0[ends].tolist()
+            else:
+                row_kept = row_sorted
+                kept_starts = starts.tolist()
+                kept_ends = ends.tolist()
             starts_l = starts.tolist()
             ends_l = ends.tolist()
         else:
             receivers = []
-            starts_l = ends_l = []
+            starts_l = ends_l = kept_starts = kept_ends = []
+            row_kept = row_sorted
         by_dst: dict[int, np.ndarray] = {}
         counts: dict[int, int] = {}
         for i, dst in enumerate(receivers):
             if dst in alive:
-                a, b = starts_l[i], ends_l[i]
-                by_dst[dst] = row_sorted[a:b]
-                counts[dst] = b - a
+                by_dst[dst] = row_kept[kept_starts[i]:kept_ends[i]]
+                counts[dst] = ends_l[i] - starts_l[i]
         return HopDelivery(
             self.msgs,
-            np.array(self.steps, dtype=np.int64),
+            self.steps,
             by_dst,
             counts,
             total=int(flat.size),
@@ -152,6 +190,10 @@ class HopPlane:
         self._reg: dict[int, int] = {}  # (id(msg) << 7 | step) -> row
         self._msgs: list[object] = []
         self._steps: list[int] = []
+        # Send columns are plain lists while the round is live: list appends
+        # and list-with-list extends are pointer copies (no per-item int
+        # conversion), and the freeze converts each column to int32 once
+        # (see _freeze_i32).
         self._srcs: list[int] = []
         self._rows: list[int] = []
         self._lens: list[int] = []

@@ -48,6 +48,13 @@ __all__ = ["Network", "Inbox", "FaultHook", "EdgeLog"]
 # An inbox is a list of (sender id, message object) pairs.
 Inbox = list[tuple[int, object]]
 
+#: Receiver-slot sentinel marking a batched-singles entry in the frozen send
+#: list: ``(src, _BATCH, items)`` stands for one ``(src, dst, msg)`` triple
+#: per ``(dst, msg)`` in ``items``, *in place* — expansion at delivery/edge
+#: time keeps global send order (and therefore inbox and edge order) exactly
+#: as if each single had been appended individually.
+_BATCH = object()
+
 
 class FaultHook(Protocol):  # pragma: no cover - typing aid only
     """What the network needs from a fault injector."""
@@ -64,11 +71,16 @@ class EdgeLog:
     ``close_send_phase`` hands the frozen send lists to this wrapper instead
     of expanding every multicast into ``(src, dst)`` tuples eagerly — in runs
     without an adversary, health monitor, or trace query the expansion never
-    happens at all.  Once expanded the flat list is cached and the send lists
-    released.  Behaves like a read-only list of ``(src, dst)`` pairs.
+    happens at all.  Behaves like a read-only list of ``(src, dst)`` pairs.
+
+    :meth:`compact` collapses the log into two machine-int id arrays, which
+    drops every payload/receiver-tuple reference the frozen send lists were
+    keeping alive.  The graph trace compacts each round it records — without
+    that, one retained round of multicast tuples and batch payloads costs
+    tens of MB at n=512, multiplied by the trace depth.
     """
 
-    __slots__ = ("_singles", "_multis", "_hops", "_flat")
+    __slots__ = ("_singles", "_multis", "_hops", "_flat", "_srcs", "_dsts")
 
     def __init__(
         self,
@@ -80,11 +92,75 @@ class EdgeLog:
         self._multis: list | None = multis
         self._hops: FrozenHopRound | None = hops
         self._flat: list[tuple[int, int]] | None = None
+        self._srcs: np.ndarray | None = None
+        self._dsts: np.ndarray | None = None
+
+    def compact(self) -> None:
+        """Collapse to ``(srcs, dsts)`` int32 arrays, freeing payload refs."""
+        if self._srcs is not None:
+            return
+        if self._flat is not None:
+            flat = self._flat
+            arr = np.array(flat, dtype=np.int32).reshape(len(flat), 2)
+            self._srcs = np.ascontiguousarray(arr[:, 0])
+            self._dsts = np.ascontiguousarray(arr[:, 1])
+            self._flat = None
+            return
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        singles = self._singles
+        if singles:
+            s_ids: list[int] = []
+            d_ids: list[int] = []
+            for s, d, m in singles:
+                if d is _BATCH:
+                    s_ids.extend([s] * len(m))
+                    d_ids.extend([dst for dst, _ in m])
+                else:
+                    s_ids.append(s)
+                    d_ids.append(d)
+            src_parts.append(np.array(s_ids, dtype=np.int32))
+            dst_parts.append(np.array(d_ids, dtype=np.int32))
+        multis = self._multis
+        if multis:
+            k = len(multis)
+            src_parts.append(
+                np.repeat(
+                    np.fromiter((s for s, _, _ in multis), np.int32, k),
+                    np.fromiter((len(d) for _, d, _ in multis), np.int64, k),
+                )
+            )
+            mflat: list[int] = []
+            for _, dsts, _ in multis:
+                mflat.extend(dsts)
+            dst_parts.append(np.array(mflat, dtype=np.int32))
+        if self._hops is not None:
+            hsrcs, hdsts = self._hops.edge_columns()
+            src_parts.append(np.asarray(hsrcs, dtype=np.int32))
+            dst_parts.append(np.asarray(hdsts, dtype=np.int32))
+        if src_parts:
+            self._srcs = np.concatenate(src_parts)
+            self._dsts = np.concatenate(dst_parts)
+        else:
+            self._srcs = np.empty(0, dtype=np.int32)
+            self._dsts = np.empty(0, dtype=np.int32)
+        self._singles = None  # drop payload references
+        self._multis = None
+        self._hops = None
 
     def _materialize(self) -> list[tuple[int, int]]:
+        if self._srcs is not None:
+            # Compacted: rebuild pairs on demand, never cache them (the whole
+            # point is not holding tuple objects for the trace's lifetime).
+            return list(zip(self._srcs.tolist(), self._dsts.tolist()))
         flat = self._flat
         if flat is None:
-            flat = [(src, dst) for src, dst, _ in self._singles]
+            flat = []
+            for src, dst, m in self._singles:
+                if dst is _BATCH:
+                    flat.extend((src, d2) for d2, _ in m)
+                else:
+                    flat.append((src, dst))
             for src, dsts, _ in self._multis:
                 flat.extend((src, dst) for dst in dsts)
             if self._hops is not None:
@@ -96,9 +172,13 @@ class EdgeLog:
         return flat
 
     def __iter__(self):
+        if self._srcs is not None:
+            return zip(self._srcs.tolist(), self._dsts.tolist())
         return iter(self._materialize())
 
     def __len__(self) -> int:
+        if self._srcs is not None:
+            return int(self._srcs.size)
         return len(self._materialize())
 
     def __getitem__(self, i):
@@ -153,6 +233,23 @@ class Network:
         self._sending.append((src, int(dst), msg))
         self._sent_counts[src] += 1
         self._pending_count += 1
+
+    def send_singles_batch(
+        self, src: int, items: list[tuple[int, object]]
+    ) -> None:
+        """File many single-receiver sends from one sender in one call.
+
+        Equivalent to :meth:`send` per ``(dst, msg)`` item in order;
+        receivers must already be plain ints.  The matchmaking and join-
+        rebroadcast paths send one *distinct* payload per receiver — tens of
+        thousands of singles per round at scale — so the per-call counter
+        updates are worth folding away.
+        """
+        if not items:
+            return
+        self._sending.append((src, _BATCH, items))
+        self._sent_counts[src] += len(items)
+        self._pending_count += len(items)
 
     def send_many(
         self, src: int, dsts: Sequence[int] | Iterable[int], msg: object
@@ -267,7 +364,18 @@ class Network:
         pending = self._pending
         pending_multi = self._pending_multi
         count = 0
+        singles_frozen = 0
         for src, dst, msg in self._sending:
+            if dst is _BATCH:
+                # Expand in place: each batched single gets its own fates and
+                # lands in the buckets as a plain triple, preserving order.
+                singles_frozen += len(msg)
+                for d2, m2 in msg:
+                    for latency in hook.message_fates(t, src, d2):
+                        pending.setdefault(latency, []).append((src, d2, m2))
+                        count += 1
+                continue
+            singles_frozen += 1
             for latency in hook.message_fates(t, src, dst):
                 pending.setdefault(latency, []).append((src, dst, msg))
                 count += 1
@@ -285,7 +393,7 @@ class Network:
         # Drops and duplicates change the copy count; re-base the counter on
         # what actually reached the buckets this round.
         self._pending_count += count - (
-            len(self._sending) + sum(len(d) for _, d, _ in self._sending_multi)
+            singles_frozen + sum(len(d) for _, d, _ in self._sending_multi)
         )
 
     def deliver(
@@ -311,7 +419,13 @@ class Network:
         inbox_of = inboxes.__getitem__
         delivered = len(due)
         for src, dst, msg in due:
-            if dst in alive:
+            if dst is _BATCH:
+                items = msg
+                delivered += len(items) - 1
+                for d2, m2 in items:
+                    if d2 in alive:
+                        inbox_of(d2).append((src, m2))
+            elif dst in alive:
                 inbox_of(dst).append((src, msg))
         for src, dsts, msg in due_multi:
             entry = (src, msg)

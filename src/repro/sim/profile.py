@@ -31,12 +31,20 @@ PHASES = ("adversary", "receive", "compute", "close")
 
 @dataclass(frozen=True)
 class PhaseTimings:
-    """Wall-time (seconds) spent in each engine phase of one round."""
+    """Wall-time (seconds) spent in each engine phase of one round.
+
+    ``shards`` is non-empty only on sharded runs (``workers > 1``): one
+    entry per shard worker, the wall-time that worker spent computing its
+    band this round.  The ``compute`` figure is the master-side phase time
+    (dispatch + worker wait + splice), so ``max(shards)`` vs ``compute``
+    separates worker imbalance from serialisation overhead.
+    """
 
     adversary: float
     receive: float
     compute: float
     close: float
+    shards: tuple[float, ...] = ()
 
     @property
     def total(self) -> float:
@@ -44,7 +52,10 @@ class PhaseTimings:
         return self.adversary + self.receive + self.compute + self.close
 
     def as_dict(self) -> dict[str, float]:
-        return {name: getattr(self, name) for name in PHASES}
+        out = {name: getattr(self, name) for name in PHASES}
+        if self.shards:
+            out["shards"] = list(self.shards)
+        return out
 
 
 class PhaseProfiler:
@@ -57,10 +68,15 @@ class PhaseProfiler:
         self.history: list[PhaseTimings] = []
 
     def record(
-        self, adversary: float, receive: float, compute: float, close: float
+        self,
+        adversary: float,
+        receive: float,
+        compute: float,
+        close: float,
+        shards: tuple[float, ...] = (),
     ) -> PhaseTimings:
         """File one round's phase durations; returns the frozen record."""
-        timings = PhaseTimings(adversary, receive, compute, close)
+        timings = PhaseTimings(adversary, receive, compute, close, shards)
         self.history.append(timings)
         return timings
 

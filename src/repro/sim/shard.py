@@ -1,0 +1,572 @@
+"""Sharded multi-process round engine over shared-memory columnar state.
+
+The synchronous engine's compute phase is embarrassingly parallel *by
+construction*: every node draws from its own deterministic rng stream
+(:meth:`repro.util.rngs.RngService.node_stream`), reads only its own inbox,
+and publishes sends whose observable order is the global sorted-node-id
+order.  This module exploits that: node ids are partitioned into ``W``
+position bands, each owned by a persistent forked worker process, and every
+round the master
+
+1. runs the adversary and receive phases as usual (single-process),
+2. ships each worker its band's inboxes (plus the shared hop columns),
+3. lets workers run ``on_round`` for their nodes — in sorted id order, with
+   the nodes' own rng streams, collecting sends into a local log —
+4. splices the returned send logs back into the master network **in global
+   sorted node-id order**, re-canonicalising routed messages by ``msg_id``,
+5. closes the send phase, traces, and records metrics exactly as before.
+
+Determinism argument (pinned by the workers∈{1,2,4} identity suite):
+
+* **Ownership is static per node** — a node's protocol object and rng
+  stream live in exactly one worker from spawn to death, so its state and
+  randomness evolve exactly as in the single-process engine.
+* **Send order** — the master network's per-category send lists are rebuilt
+  by walking nodes in global sorted id order and replaying each node's
+  sends in issue order; that equals the single-process order, because the
+  single-process loop *is* "nodes in sorted id order, sends in issue
+  order".
+* **Message identity** — receiver-side dedup is by ``(message identity,
+  step)``.  Pickling across the process boundary would split one logical
+  message into per-worker copies, so the master re-canonicalises every
+  routed message by its ``msg_id`` (unique per logical request by
+  construction) before it enters the network; all receiver copies of one
+  logical hop are again one object (or one plane row).
+* **Everything else is master-side** — churn, fault fates, delivery
+  grouping, tracing, and metrics never left the master, so their rng and
+  ordering are untouched.
+
+Scalar node state (phase / epoch / position) is published into a
+``multiprocessing.shared_memory`` slab (:class:`repro.core.nodestore.NodeStore`
+columns): each worker writes its band's rows — bands are contiguous row
+ranges, so a shard's published state is an array slice — and the master
+reads population aggregates without gathering objects.  Full protocol
+objects cross the boundary only at explicit :meth:`ShardRunner.sync_protocols`
+gather points (audits, fingerprints).
+
+Cost model: this is a *correctness-first* decomposition.  On a single-core
+host the pickling of inboxes and send logs makes ``workers > 1`` slower
+than the reference path; the wins are (a) the engine-level scaffolding for
+multi-core hosts and (b) the pinned proof that the round computation is
+band-decomposable without observable drift.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from itertools import accumulate
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.nodestore import NodeStore
+from repro.routing.messages import Hop, RoutedMessage
+from repro.sim.hopplane import HopDelivery, HopPlane
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sim.engine import Engine
+
+__all__ = ["band_of", "assign_bands", "ShardSlab", "ShardRunner"]
+
+
+# ----------------------------------------------------------------------
+# Band assignment
+# ----------------------------------------------------------------------
+
+
+def band_of(pos: float, workers: int) -> int:
+    """The shard owning ring position ``pos``: uniform contiguous bands.
+
+    Band ``k`` covers ``[k/W, (k+1)/W)``; the boundaries are fixed for the
+    whole run, so ownership is a pure function of the position and never
+    rebalances (rebalancing would move rng streams between processes).
+    """
+    k = int(pos * workers)
+    return workers - 1 if k >= workers else k
+
+
+def assign_bands(
+    ids: Iterable[int], position_hash, workers: int
+) -> dict[int, int]:
+    """Shard id per node, from the epoch-0 position hash ``h(v, 0)``.
+
+    ``h(v, 0)`` exists for every id (established or not), is uniform, and
+    is known to every process, so joins can be assigned without
+    coordination.
+    """
+    return {
+        v: band_of(position_hash.position(v, 0), workers) for v in ids
+    }
+
+
+# ----------------------------------------------------------------------
+# Shared-memory slab
+# ----------------------------------------------------------------------
+
+
+class ShardSlab:
+    """One ``multiprocessing.shared_memory`` block backing NodeStore columns.
+
+    Created by the master before forking; workers inherit the mapping
+    through ``fork`` and write their band's rows in place.  The master owns
+    the lifecycle (:meth:`close` unlinks the block).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=NodeStore.nbytes_for(capacity)
+        )
+        self._closed = False
+
+    def store(self) -> NodeStore:
+        """A NodeStore whose columns are views into the shared block."""
+        store = NodeStore(buffers=NodeStore.views_over(self._shm.buf, self.capacity))
+        store.init_fixed_views()
+        return store
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side send log
+# ----------------------------------------------------------------------
+
+
+class _SendLog:
+    """Network-API-compatible collector for one worker's compute phase.
+
+    Tagged items reproduce the issue order per node; per-node marks give
+    the master the item / plane-send boundaries it needs to splice the
+    global stream in sorted node-id order.  Hop sends go through a local
+    :class:`HopPlane` so the fused forwarding loops (which append straight
+    into plane columns) run unchanged.
+    """
+
+    def __init__(self, plane_on: bool) -> None:
+        self.items: list[tuple] = []
+        self.marks: list[tuple[int, int, int]] = []  # (node, items_hi, plane_hi)
+        self.plane = HopPlane() if plane_on else None
+
+    # Network API used by NodeContext --------------------------------
+    def send(self, src: int, dst: int, msg: object) -> None:
+        self.items.append(("s", dst, msg))
+
+    def send_singles_batch(self, src: int, items: list) -> None:
+        if items:
+            self.items.append(("b", items))
+
+    def send_many(self, src: int, dsts, msg: object) -> None:
+        dsts = tuple(dsts)
+        if dsts:
+            self.items.append(("m", dsts, msg))
+
+    def send_many_batch(self, src: int, items: list) -> None:
+        if items:
+            self.items.append(("mb", items))
+
+    def send_hops(self, src: int, msg: object, step: int, dsts) -> None:
+        self.plane.send(src, msg, step, dsts)
+
+    def send_hops_batch(self, src: int, items: list) -> None:
+        self.plane.send_batch(src, items)
+
+    def count_hop_sends(self, src: int, n: int) -> None:
+        pass  # the master re-counts while splicing
+
+    def mark(self, node: int) -> None:
+        plane_hi = len(self.plane._srcs) if self.plane is not None else 0
+        self.marks.append((node, len(self.items), plane_hi))
+
+    def plane_pack(self):
+        if self.plane is None:
+            return None
+        _, msgs, steps, srcs, rows, lens, flat = self.plane.columns()
+        return (msgs, steps, rows, lens, flat)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+_GATHER_SKIP = ("_epoch_cache", "_d_index", "hash")
+
+
+def _export_state(proto) -> dict:
+    """A node's picklable attribute snapshot (cache refs and callables out)."""
+    out = {}
+    for k, v in proto.__dict__.items():
+        if k in _GATHER_SKIP or callable(v):
+            continue
+        out[k] = v
+    return out
+
+
+def _worker_main(engine: "Engine", band: int, conn, store: NodeStore) -> None:
+    """Persistent worker loop: owns one band of nodes, forked from master.
+
+    The forked engine snapshot supplies protocols, rng streams, lifecycle
+    and the epoch cache; from here on only the owned band's objects are
+    touched, and the only channel back is the per-round send log (plus
+    explicit gathers).
+    """
+    from repro.sim.engine import NodeContext
+
+    owned = {
+        v
+        for v, k in engine._shard_bands.items()
+        if k == band and v in engine._protocols
+    }
+    joined = {v: engine.lifecycle.joined_round(v) for v in owned}
+    protocols = engine._protocols
+    rngs = engine._rngs
+    params = engine.params
+    plane_on = engine.network.plane is not None
+    # Per-shard compute timing reuses the profiler's injectable clock (no
+    # direct wall-clock reads here); an unprofiled run measures nothing.
+    clock = engine.profiler.clock if engine.profiler is not None else None
+    ordered = sorted(owned)
+    while True:
+        cmd, payload = conn.recv()
+        if cmd == "stop":
+            conn.send(("bye", None))
+            return
+        if cmd == "gather":
+            conn.send(
+                ("state", {v: _export_state(protocols[v]) for v in ordered})
+            )
+            continue
+        # cmd == "round"
+        (t, leaves, joins, stalled, calls, inboxes, hop_pack) = payload
+        t0 = clock() if clock is not None else 0.0
+        for v in leaves:
+            owned.discard(v)
+            joined.pop(v, None)
+            protocols.pop(v, None)
+            rngs.pop(v, None)
+        for v, jr, slot in joins:
+            owned.add(v)
+            joined[v] = jr
+            protocols[v] = engine.protocol_factory(v, engine.services)
+            rngs[v] = engine.rng_service.node_stream(v)
+            store.adopt(v, slot)  # the master is the single slot allocator
+        if leaves or joins:
+            ordered = sorted(owned)
+        for v, name, args in calls:
+            getattr(protocols[v], name)(*args)
+        if engine.services.epoch_cache is not None:
+            engine.services.epoch_cache.begin_round(t)
+        delivery = None
+        hop_rows = None
+        if hop_pack is not None:
+            msgs, steps, hop_rows = hop_pack
+            delivery = HopDelivery(msgs, steps, hop_rows, {}, total=0)
+        log = _SendLog(plane_on)
+        for v in ordered:
+            if v in stalled:
+                continue
+            ctx = NodeContext(
+                node_id=v,
+                t=t,
+                inbox=inboxes.get(v, []),
+                rng=rngs[v],
+                params=params,
+                joined_round=joined[v],
+                network=log,
+                hops=hop_rows.get(v) if hop_rows is not None else None,
+                hop_delivery=delivery,
+            )
+            proto = protocols[v]
+            proto.on_round(ctx)
+            log.mark(v)
+        for v in ordered:
+            protocols[v].publish_state(store, store.slot_of(v))
+        secs = (clock() - t0) if clock is not None else 0.0
+        conn.send(("sends", (log.items, log.marks, log.plane_pack(), secs)))
+
+
+# ----------------------------------------------------------------------
+# Master-side runner
+# ----------------------------------------------------------------------
+
+
+class ShardRunner:
+    """Master-side coordinator of the sharded compute phase."""
+
+    def __init__(self, engine: "Engine", workers: int) -> None:
+        if workers < 2:
+            raise ValueError("ShardRunner needs workers >= 2")
+        self.engine = engine
+        self.workers = workers
+        self._canon: dict[object, tuple[RoutedMessage, int]] = {}
+        self._canon_ttl = 2 * engine.params.lam + 6
+        self.last_shard_seconds: tuple[float, ...] = ()
+        # Band map for every currently known node; joins are added as the
+        # adversary creates them.
+        alive = sorted(engine.alive)
+        engine._shard_bands = assign_bands(
+            alive, engine.services.position_hash, workers
+        )
+        # Re-home the scalar store into a shared slab, band-contiguous:
+        # band k's rows form one slice of the columns.
+        self._slab = ShardSlab(capacity=4 * max(len(alive), 16) + 256)
+        store = self._slab.store()
+        for k in range(workers):
+            for v in (u for u in alive if engine._shard_bands[u] == k):
+                store.ensure(v)
+        for v in alive:
+            engine._protocols[v].publish_state(store, store.slot_of(v))
+        engine.node_store = store
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for k in range(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(engine, k, child, store),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def band(self, v: int) -> int:
+        bands = self.engine._shard_bands
+        k = bands.get(v)
+        if k is None:
+            k = bands[v] = band_of(
+                self.engine.services.position_hash.position(v, 0), self.workers
+            )
+        return k
+
+    def run_compute(
+        self,
+        t: int,
+        decision,
+        inboxes: dict,
+        hop_delivery,
+        ordered: list[int],
+    ) -> None:
+        """Dispatch one compute phase to the workers and splice the sends."""
+        engine = self.engine
+        faults = engine.faults
+        # Stall draws happen master-side, for every alive node in the same
+        # order as the reference loop (FaultInjector counts them).
+        stalled: set[int] = set()
+        if faults is not None:
+            for v in ordered:
+                if faults.stalled(t, v):
+                    stalled.add(v)
+        per: list[dict] = [
+            {"leaves": [], "joins": [], "stalled": set(), "calls": [], "inboxes": {}}
+            for _ in range(self.workers)
+        ]
+        for v in decision.leaves:
+            k = self.band(v)
+            per[k]["leaves"].append(v)
+            engine._shard_bands.pop(v, None)
+        for j in decision.joins:
+            # The engine's adversary phase already spawned the master-side
+            # snapshot and allocated the store slot; ship both to the owner.
+            k = self.band(j.new_id)
+            per[k]["joins"].append(
+                (
+                    j.new_id,
+                    engine.lifecycle.joined_round(j.new_id),
+                    engine.node_store.slot_of(j.new_id),
+                )
+            )
+        for v in stalled:
+            per[self.band(v)]["stalled"].add(v)
+        for v, name, args in engine._pending_node_calls:
+            per[self.band(v)]["calls"].append((v, name, args))
+        engine._pending_node_calls = []
+        for v, inbox in inboxes.items():
+            per[self.band(v)]["inboxes"][v] = inbox
+        hop_packs: list = [None] * self.workers
+        if hop_delivery is not None:
+            by_band: list[dict] = [{} for _ in range(self.workers)]
+            for v, rows in hop_delivery.rows.items():
+                by_band[self.band(v)][v] = rows
+            for k in range(self.workers):
+                hop_packs[k] = (hop_delivery.msgs, hop_delivery.steps, by_band[k])
+        for k, conn in enumerate(self._conns):
+            p = per[k]
+            conn.send(
+                (
+                    "round",
+                    (
+                        t,
+                        p["leaves"],
+                        p["joins"],
+                        p["stalled"],
+                        p["calls"],
+                        p["inboxes"],
+                        hop_packs[k],
+                    ),
+                )
+            )
+        results = []
+        for conn in self._conns:
+            kind, payload = conn.recv()
+            assert kind == "sends"
+            results.append(payload)
+        self.last_shard_seconds = tuple(r[3] for r in results)
+        self._splice(t, ordered, stalled, results)
+        self._prune_canon(t)
+        engine._gathered_round = -1  # master protocol snapshots are stale now
+
+    def _canon_msg(self, msg: RoutedMessage, t: int) -> RoutedMessage:
+        entry = self._canon.get(msg.msg_id)
+        if entry is None:
+            self._canon[msg.msg_id] = (msg, t)
+            return msg
+        canon, _ = entry
+        self._canon[msg.msg_id] = (canon, t)
+        return canon
+
+    def _canon_payload(self, msg: object, t: int) -> object:
+        """Re-canonicalise routed content so identity-dedup sees one object."""
+        if isinstance(msg, Hop):
+            canon = self._canon_msg(msg.msg, t)
+            return msg if canon is msg.msg else Hop(canon, msg.step)
+        if isinstance(msg, RoutedMessage):
+            return self._canon_msg(msg, t)
+        return msg
+
+    def _prune_canon(self, t: int) -> None:
+        if t % 8:
+            return
+        horizon = t - self._canon_ttl
+        stale = [k for k, (_, touched) in self._canon.items() if touched < horizon]
+        for k in stale:
+            del self._canon[k]
+
+    def _splice(
+        self, t: int, ordered: list[int], stalled: set[int], results: list
+    ) -> None:
+        """Replay per-node send segments into the master network, in global
+        sorted node-id order (the reference engine's observable order)."""
+        net = self.engine.network
+        cursors = [0] * self.workers
+        item_lo = [0] * self.workers
+        plane_lo = [0] * self.workers
+        flat_offs: list[list[int]] = []
+        for items, marks, plane_pack, _secs in results:
+            if plane_pack is not None:
+                lens = plane_pack[3]
+                flat_offs.append(list(accumulate(lens, initial=0)))
+            else:
+                flat_offs.append([0])
+        for v in ordered:
+            if v in stalled:
+                continue
+            k = self.band(v)
+            items, marks, plane_pack, _secs = results[k]
+            node, items_hi, plane_hi = marks[cursors[k]]
+            assert node == v, f"shard stream misaligned: {node} != {v}"
+            cursors[k] += 1
+            for item in items[item_lo[k]:items_hi]:
+                tag = item[0]
+                if tag == "s":
+                    net.send(v, item[1], self._canon_payload(item[2], t))
+                elif tag == "b":
+                    net.send_singles_batch(
+                        v,
+                        [(d, self._canon_payload(m, t)) for d, m in item[1]],
+                    )
+                elif tag == "m":
+                    net.send_many(v, item[1], self._canon_payload(item[2], t))
+                else:  # "mb"
+                    net.send_many_batch(
+                        v,
+                        [(d, self._canon_payload(m, t)) for d, m in item[1]],
+                    )
+            item_lo[k] = items_hi
+            if plane_pack is not None and plane_hi > plane_lo[k]:
+                msgs, steps, rows, lens, flat = plane_pack
+                offs = flat_offs[k]
+                for i in range(plane_lo[k], plane_hi):
+                    row = rows[i]
+                    net.send_hops(
+                        v,
+                        self._canon_msg(msgs[row], t),
+                        steps[row],
+                        flat[offs[i]:offs[i + 1]],
+                    )
+                plane_lo[k] = plane_hi
+
+    # ------------------------------------------------------------------
+    # Gather and lifecycle
+    # ------------------------------------------------------------------
+
+    def sync_protocols(self) -> None:
+        """Refresh the master's protocol snapshots from the owning workers."""
+        for conn in self._conns:
+            conn.send(("gather", None))
+        for conn in self._conns:
+            kind, states = conn.recv()
+            assert kind == "state"
+            for v, state in states.items():
+                proto = self.engine._protocols.get(v)
+                if proto is None:
+                    continue
+                proto.__dict__.update(state)
+                proto._d_index = None
+
+    def forward_call(self, v: int, name: str, args: tuple) -> None:
+        self.engine._pending_node_calls.append((v, name, args))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._privatize_store()
+        self._slab.close()
+
+    def _privatize_store(self) -> None:
+        """Copy the shared columns into private memory and drop the views.
+
+        The slab cannot unmap while NumPy views over it are alive, so the
+        engine's store is swapped for a private copy first — state reads
+        keep working after :meth:`close`.
+        """
+        shared = self.engine.node_store
+        if shared is None or not shared._fixed:
+            return
+        priv = NodeStore(capacity=shared.capacity)
+        priv.phase[:] = shared.phase
+        priv.epoch[:] = shared.epoch
+        priv.pos[:] = shared.pos
+        priv._slot_of = dict(shared._slot_of)
+        priv._ids = list(shared._ids)
+        self.engine.node_store = priv
+        shared.phase = shared.epoch = shared.pos = None

@@ -52,6 +52,12 @@ class GraphTrace:
             raise ValueError(
                 f"rounds must be recorded consecutively; got {t} after {self._last_round}"
             )
+        # An EdgeLog is compacted to id arrays on entry: the trace keeps
+        # ``edge_depth`` rounds alive, and holding the frozen send lists (or
+        # a list of pair tuples) that long dominates peak RSS at scale.
+        compact = getattr(edges, "compact", None)
+        if compact is not None:
+            compact()
         self._edges[t] = edges
         while len(self._edges) > self.edge_depth:
             self._edges.popitem(last=False)

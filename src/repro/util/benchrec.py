@@ -60,7 +60,9 @@ def recording_enabled(label: str | None = None) -> bool:
     """
     return label is not None or os.environ.get(RECORD_ENV) == "1"
 
-#: Required per-entry fields and their types (``label`` is optional).
+#: Required per-entry fields and their types (``label`` and ``workers``
+#: are optional; ``workers`` is absent on records that predate the sharded
+#: engine and means 1).
 _ENTRY_FIELDS: dict[str, type | tuple[type, ...]] = {
     "created": str,
     "n": int,
@@ -95,6 +97,7 @@ def make_entry(
     seconds_per_round: float,
     created: str | None = None,
     label: str | None = None,
+    workers: int | None = None,
 ) -> dict:
     """One schema-valid benchmark entry (RSS sampled at call time)."""
     entry = {
@@ -109,6 +112,8 @@ def make_entry(
     }
     if label is not None:
         entry["label"] = str(label)
+    if workers is not None:
+        entry["workers"] = int(workers)
     return entry
 
 
@@ -172,3 +177,9 @@ def _validate_entry(entry: object, where: str) -> None:
         raise ValueError(f"{where}: negative measurement")
     if "label" in entry and not isinstance(entry["label"], str):
         raise ValueError(f"{where}: label must be a string")
+    if "workers" in entry and (
+        not isinstance(entry["workers"], int)
+        or isinstance(entry["workers"], bool)
+        or entry["workers"] < 1
+    ):
+        raise ValueError(f"{where}: workers must be a positive int")

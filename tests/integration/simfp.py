@@ -147,11 +147,15 @@ def run_scenario(name: str, **sim_kwargs) -> str:
     """
     builder, total = SCENARIOS[name]
     sim = builder(**sim_kwargs)
-    probe_rng = np.random.default_rng(99)
-    rounds: list[tuple] = []
-    for t in range(total):
-        if t == 4:  # early enough that deliveries (2*lam + 2 later) land in-run
-            sim.send_probes(6, probe_rng)
-        sim.engine.run_round()
-        rounds.append(round_snapshot(sim, t))
-    return sim_fingerprint(sim, rounds)
+    try:
+        probe_rng = np.random.default_rng(99)
+        rounds: list[tuple] = []
+        for t in range(total):
+            if t == 4:  # early enough that deliveries (2*lam + 2 later) land in-run
+                sim.send_probes(6, probe_rng)
+            sim.engine.run_round()
+            rounds.append(round_snapshot(sim, t))
+        return sim_fingerprint(sim, rounds)
+    finally:
+        # Release shard workers / shared slabs on sharded runs (W=1: no-op).
+        sim.close()

@@ -1,0 +1,49 @@
+"""Sharded engine equivalence: workers ∈ {1, 2, 4} must be bit-identical.
+
+The multi-process shard runner (:mod:`repro.sim.shard`) re-executes the
+compute phase across forked band workers and splices the send streams back
+in global node order.  These tests pin that the full-simulation fingerprint
+— per-round metrics, exact edge multisets, churn decisions, every node's
+final state, audits and probe deliveries — is unchanged for every worker
+count, across steady state, churn and message/stall faults (the fault
+scenarios exercise the legacy per-copy hop path and its cross-process
+message re-canonicalisation).
+
+The pairs below cover W ∈ {2, 4} against the W=1 reference while keeping
+suite wall-time in check (each sharded run pays per-round pickling; the
+scenario × worker matrix beyond this adds cost, not coverage — all three
+scenario families and both worker counts appear).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .simfp import run_scenario
+
+
+@pytest.mark.parametrize(
+    ("scenario", "workers"),
+    [
+        ("steady", 2),
+        ("steady", 4),
+        ("churn", 4),
+        ("faults", 2),
+    ],
+)
+def test_sharded_run_matches_reference(scenario: str, workers: int) -> None:
+    reference = run_scenario(scenario)
+    sharded = run_scenario(scenario, workers=workers)
+    assert sharded == reference
+
+
+def test_health_monitoring_rejects_sharding() -> None:
+    """HealthMonitor would force a gather per round; the combination is an
+    explicit error rather than a silent 10x slowdown."""
+    from repro.config import ProtocolParams
+    from repro.core.runner import MaintenanceSimulation
+    from repro.faults.health import HealthMonitor
+
+    params = ProtocolParams(n=16, c=1.2, r=2, delta=3, tau=8, seed=1)
+    with pytest.raises(ValueError, match="workers=1"):
+        MaintenanceSimulation(params, health=HealthMonitor(params), workers=2)
