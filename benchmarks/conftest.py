@@ -66,6 +66,8 @@ def record_bench(quick):
         rounds: int = 1,
         label: str | None = None,
         workers: int | None = None,
+        exchange_bytes_pipe: int | None = None,
+        exchange_bytes_shm: int | None = None,
     ):
         meta = getattr(benchmark, "stats", None)
         if meta is None:  # --benchmark-disable: nothing was timed
@@ -78,6 +80,8 @@ def record_bench(quick):
             seconds_per_round=meta.stats.mean / max(1, rounds),
             label=label if label is not None else ("quick" if quick else "full"),
             workers=workers,
+            exchange_bytes_pipe=exchange_bytes_pipe,
+            exchange_bytes_shm=exchange_bytes_shm,
         )
         return append_entry(RESULTS_DIR, bench_id, entry)
 

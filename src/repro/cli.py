@@ -292,6 +292,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 f"{k:<10} {seconds:>10.3f} "
                 f"{seconds / len(shard_rounds) * 1e3:>10.2f}"
             )
+    pipe, shm = profiler.exchange_totals()
+    if pipe or shm:
+        per_round = (pipe + shm) / max(1, profiler.rounds) / 1e6
+        share = pipe / (pipe + shm)
+        print()
+        print(
+            f"exchange   pipe {pipe / 1e6:.2f} MB  shm {shm / 1e6:.2f} MB  "
+            f"({per_round:.2f} MB/round, pipe share {share:.2%})"
+        )
     return 0
 
 
@@ -319,7 +328,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         return 2
     print(
         f"{'n':>6}  {'W':>3}  {'s/round':>9}  {'peak RSS':>9}  "
-        f"{'speedup':>8}  recorded"
+        f"{'speedup':>8}  {'exch MB/rd':>11}  recorded"
     )
     base: float | None = None
     for n, workers in sorted(latest):
@@ -334,6 +343,14 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             speed = f"{serial['seconds_per_round'] / spr:>7.2f}x"
         else:
             speed = f"{'—':>8}"
+        # Per-round exchange traffic (pipe + shm), recorded by sharded runs
+        # on the zero-copy exchange path; serial rows have no exchange.
+        xch_pipe = entry.get("exchange_bytes_pipe")
+        xch_shm = entry.get("exchange_bytes_shm")
+        if xch_pipe is not None or xch_shm is not None:
+            exch = f"{((xch_pipe or 0) + (xch_shm or 0)) / 1e6:>10.2f}M"
+        else:
+            exch = f"{'—':>11}"
         rel = (
             f"  ({spr / base:.1f}x n={min(k[0] for k in latest)})"
             if base and workers == 1
@@ -342,7 +359,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         rss_mb = entry["peak_rss_kb"] / 1024.0
         print(
             f"{n:>6}  {workers:>3}  {spr:>9.4f}  {rss_mb:>7.1f}MB  "
-            f"{speed}  {entry['created']}{rel}"
+            f"{speed}  {exch}  {entry['created']}{rel}"
         )
     return 0
 

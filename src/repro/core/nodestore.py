@@ -167,18 +167,25 @@ class NodeStore:
     @staticmethod
     def nbytes_for(capacity: int) -> int:
         """Slab size (bytes) needed to back ``capacity`` rows."""
-        return capacity * (1 + 8 + 8)
+        return capacity * (8 + 8 + 1)
 
     @staticmethod
     def views_over(buf: memoryview, capacity: int) -> tuple[
         np.ndarray, np.ndarray, np.ndarray
     ]:
-        """Carve (phase, epoch, pos) column views out of one flat buffer."""
-        o1 = capacity  # int8 phase column
-        o2 = o1 + 8 * capacity
-        phase = np.frombuffer(buf, dtype=np.int8, count=capacity, offset=0)
-        epoch = np.frombuffer(buf, dtype=np.int64, count=capacity, offset=o1)
-        pos = np.frombuffer(buf, dtype=np.float64, count=capacity, offset=o2)
+        """Carve (phase, epoch, pos) column views out of one flat buffer.
+
+        The 8-byte columns lead and the int8 phase column trails, so the
+        wide views are element-aligned for any ``capacity`` (an epoch view
+        at byte offset ``capacity`` would be misaligned whenever the
+        capacity is not a multiple of 8 — legal for NumPy on x86, but a
+        penalty or a trap depending on the ISA).
+        """
+        o_pos = 8 * capacity
+        o_phase = 16 * capacity
+        epoch = np.frombuffer(buf, dtype=np.int64, count=capacity, offset=0)
+        pos = np.frombuffer(buf, dtype=np.float64, count=capacity, offset=o_pos)
+        phase = np.frombuffer(buf, dtype=np.int8, count=capacity, offset=o_phase)
         return phase, epoch, pos
 
     def init_fixed_views(self) -> None:

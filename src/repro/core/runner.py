@@ -126,6 +126,14 @@ class MaintenanceSimulation:
         """Release engine resources (shard workers / shared slabs)."""
         self.engine.close()
 
+    def exchange_stats(self):
+        """Shard-exchange byte counters (``None`` on single-process runs).
+
+        See :meth:`repro.sim.engine.Engine.exchange_stats`; usable both
+        mid-run and after :meth:`close`.
+        """
+        return self.engine.exchange_stats()
+
     def __enter__(self) -> "MaintenanceSimulation":
         return self
 

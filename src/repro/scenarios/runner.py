@@ -99,82 +99,89 @@ def run_scenario_cell(task: tuple[str, int, bool]) -> dict[str, object]:
     ):
         waves.add(window_close + 1)
 
-    rng = np.random.default_rng(seed + 17)
-    queued_at: dict[object, int] = {}
-    for t in range(total):
-        if t in waves:
-            try:
-                for pid in sim.send_probes(PROBES_PER_WAVE, rng):
-                    queued_at[pid] = t
-            except RuntimeError:
-                pass  # overlay collapsed: nothing established to probe from
-        sim.engine.run_round()
+    # Close even on mid-cell failure: under a sharded engine the simulation
+    # owns worker processes and shared-memory slabs, and a pool worker that
+    # leaks them strands /dev/shm segments past the cell.
+    with sim:
+        rng = np.random.default_rng(seed + 17)
+        queued_at: dict[object, int] = {}
+        for t in range(total):
+            if t in waves:
+                try:
+                    for pid in sim.send_probes(PROBES_PER_WAVE, rng):
+                        queued_at[pid] = t
+                except RuntimeError:
+                    pass  # overlay collapsed: nothing established to probe from
+            sim.engine.run_round()
 
-    # First-delivery round per probe (a probe reaches a whole swarm; the
-    # earliest receipt defines its latency).
-    deliveries: dict[object, int] = {}
-    for node in sim.alive_nodes():
-        for payload, t in node.delivered:
-            if isinstance(payload, tuple) and payload[0] == "probe":
-                pid = payload[1]
-                if pid in queued_at and (pid not in deliveries or t < deliveries[pid]):
-                    deliveries[pid] = t
+        # First-delivery round per probe (a probe reaches a whole swarm; the
+        # earliest receipt defines its latency).
+        deliveries: dict[object, int] = {}
+        for node in sim.alive_nodes():
+            for payload, t in node.delivered:
+                if isinstance(payload, tuple) and payload[0] == "probe":
+                    pid = payload[1]
+                    if pid in queued_at and (pid not in deliveries or t < deliveries[pid]):
+                        deliveries[pid] = t
 
-    stretches = [
-        (deliveries[pid] - queued_at[pid]) / params.dilation for pid in deliveries
-    ]
-    stretch = (
-        {
-            "p50": _percentile(stretches, 50),
-            "p95": _percentile(stretches, 95),
-            "p99": _percentile(stretches, 99),
+        stretches = [
+            (deliveries[pid] - queued_at[pid]) / params.dilation for pid in deliveries
+        ]
+        stretch = (
+            {
+                "p50": _percentile(stretches, 50),
+                "p95": _percentile(stretches, 95),
+                "p99": _percentile(stretches, 99),
+            }
+            if stretches
+            else None
+        )
+
+        first = monitor.first_degradation_round
+        last = monitor.last_degradation_round
+        if window_close is None or last is None:
+            after_close = None
+        else:
+            # Degradation rounds past the window close = how long the overlay
+            # took to shake the damage off once the environment went quiet.
+            after_close = max(0, last - window_close + 1)
+        recovery = {
+            "time_to_first_degradation": None
+            if first is None or window_open is None
+            else first - window_open,
+            "degraded_round_fraction": monitor.degraded_round_fraction,
+            "time_to_recover": monitor.time_to_recover,
+            "recovery_rounds_after_close": after_close,
+            "events": len(monitor.events),
+            "events_by_kind": monitor.counts_by_kind(),
         }
-        if stretches
-        else None
-    )
 
-    first = monitor.first_degradation_round
-    last = monitor.last_degradation_round
-    if window_close is None or last is None:
-        after_close = None
-    else:
-        # Degradation rounds past the window close = how long the overlay
-        # took to shake the damage off once the environment went quiet.
-        after_close = max(0, last - window_close + 1)
-    recovery = {
-        "time_to_first_degradation": None
-        if first is None or window_open is None
-        else first - window_open,
-        "degraded_round_fraction": monitor.degraded_round_fraction,
-        "time_to_recover": monitor.time_to_recover,
-        "recovery_rounds_after_close": after_close,
-        "events": len(monitor.events),
-        "events_by_kind": monitor.counts_by_kind(),
-    }
-
-    health = sim.health_summary()
-    totals = sim.engine.metrics.fault_totals()
-    churned = sum(len(r.decision.leaves) + len(r.decision.joins) for r in sim.engine.reports)
-    return {
-        "scenario": name,
-        "seed": seed,
-        "n": params.n,
-        "rounds": total,
-        "bootstrap_rounds": params.bootstrap_rounds,
-        "fault_window": [window_open, window_close],
-        "probes": {
-            "launched": len(queued_at),
-            "delivered": len(deliveries),
-            "delivery_rate": len(deliveries) / len(queued_at) if queued_at else None,
-        },
-        "stretch": stretch,
-        "recovery": recovery,
-        "established_fraction": health["established_fraction"],
-        "faults_injected": totals.injected,
-        "churn_events": churned,
-        "fingerprint": _fingerprint(sim, deliveries),
-        "plan": plan.to_json(),
-    }
+        health = sim.health_summary()
+        totals = sim.engine.metrics.fault_totals()
+        churned = sum(
+            len(r.decision.leaves) + len(r.decision.joins)
+            for r in sim.engine.reports
+        )
+        return {
+            "scenario": name,
+            "seed": seed,
+            "n": params.n,
+            "rounds": total,
+            "bootstrap_rounds": params.bootstrap_rounds,
+            "fault_window": [window_open, window_close],
+            "probes": {
+                "launched": len(queued_at),
+                "delivered": len(deliveries),
+                "delivery_rate": len(deliveries) / len(queued_at) if queued_at else None,
+            },
+            "stretch": stretch,
+            "recovery": recovery,
+            "established_fraction": health["established_fraction"],
+            "faults_injected": totals.injected,
+            "churn_events": churned,
+            "fingerprint": _fingerprint(sim, deliveries),
+            "plan": plan.to_json(),
+        }
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

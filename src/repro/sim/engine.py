@@ -299,6 +299,7 @@ class Engine:
         self.node_store = NodeStore()
         self.workers = workers
         self._shard = None  # built lazily at the first sharded run_round
+        self._exchange_stats = None  # retained snapshot after close()
         self._shard_bands: dict[int, int] = {}
         self._gathered_round = -1
         self._pending_node_calls: list[tuple[int, str, tuple]] = []
@@ -355,8 +356,21 @@ class Engine:
     def close(self) -> None:
         """Shut down shard workers and release shared slabs (W=1: no-op)."""
         if self._shard is not None:
+            self._exchange_stats = self._shard.stats
             self._shard.close()
             self._shard = None
+
+    def exchange_stats(self):
+        """Cumulative shard-exchange byte counters, or ``None`` at W=1.
+
+        Returns the live :class:`~repro.sim.exchange.ExchangeStats` while
+        the shard runner is up, and the retained final snapshot after
+        :meth:`close` — so post-run assertions (CI's pipe-share gate) work
+        either way.
+        """
+        if self._shard is not None:
+            return self._shard.stats
+        return self._exchange_stats
 
     @property
     def alive(self) -> frozenset[int]:
@@ -481,11 +495,19 @@ class Engine:
         phases: PhaseTimings | None = None
         if clock is not None:
             _t4 = clock()
-            shard_secs = (
-                self._shard.last_shard_seconds if self._shard is not None else ()
-            )
+            shard_secs: tuple[float, ...] = ()
+            xch_pipe = xch_shm = 0
+            if self._shard is not None:
+                shard_secs = self._shard.last_shard_seconds
+                xch_pipe, xch_shm = self._shard.last_round_bytes
             phases = prof.record(
-                _t1 - _t0, _t2 - _t1, _t3 - _t2, _t4 - _t3, shards=shard_secs
+                _t1 - _t0,
+                _t2 - _t1,
+                _t3 - _t2,
+                _t4 - _t3,
+                shards=shard_secs,
+                exchange_bytes_pipe=xch_pipe,
+                exchange_bytes_shm=xch_shm,
             )
         metrics = self.metrics.record_round(
             t, sent, received, len(alive), faults=fault_stats, phases=phases

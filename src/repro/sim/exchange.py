@@ -1,0 +1,389 @@
+"""Zero-copy boundary exchange for the sharded round engine.
+
+PR 7's :mod:`repro.sim.shard` shipped every round's inboxes, hop columns
+and send logs as pickled ``Pipe`` payloads — an O(traffic) serialization
+tax paid per worker per round.  This module encodes the same payloads into
+``multiprocessing.shared_memory`` arenas instead (:mod:`repro.util.arena`),
+so the pipes degrade to a **control plane** carrying only offsets and
+counts, and the bulk bytes cross the boundary exactly once, unserialized:
+
+* **Downlink** (master -> workers): the shared hop columns — already
+  columnar ``(msgs, steps)`` plus per-receiver row arrays — are written as
+  int arrays into one master-owned slab; each ``RoutedMessage`` is framed
+  *once per round* (identity-memoised) no matter how many bands reference
+  it, where PR 7 pickled it once per band.  Inboxes become flat
+  ``(sender, frame, step)`` integer triples; the residual control scalars
+  (leaves, joins-with-slots, stalls, forwarded calls) ride in one small
+  pickled frame per band.
+* **Uplink** (workers -> master): each worker owns one fixed region of a
+  second slab and writes its send log as an integer metadata stream plus
+  framed message objects, its per-node marks, and its local hop-plane
+  columns.  The master splices by reading views — no unpickling of bulk
+  columns.
+
+**Identity is part of the contract.**  Receiver-side hop dedup and plane
+row interning key on *message object identity* (see ``node.on_round`` and
+:class:`~repro.sim.hopplane.HopPlane`); the frame encoder/decoder memo
+pair reproduces exactly the sharing structure a per-payload pickle memo
+produced in PR 7, which is what keeps W∈{2,4} fingerprints bit-for-bit
+identical (pinned by ``tests/integration/test_shard_identity.py``).
+
+Overflow protocol: encoders raise :class:`~repro.util.arena.ArenaFull`;
+the master regrows its downlink slab and re-encodes, while a worker falls
+back to shipping that one round through the pipe (tagged ``"sends_pipe"``,
+honestly counted as pipe bytes) and the master regrows the uplink slab for
+the next round.  Both sides of the handshake live in
+:mod:`repro.sim.shard`; this module is the pure encode/decode layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.messages import Hop
+from repro.sim.hopplane import HopDelivery
+from repro.util.arena import (
+    ByteArena,
+    FrameDecoder,
+    FrameEncoder,
+    read_array,
+    read_frame,
+)
+
+__all__ = [
+    "DOWN_MIN_BYTES",
+    "UP_BAND_MIN_BYTES",
+    "ExchangeStats",
+    "encode_downlink_shared",
+    "decode_downlink_shared",
+    "encode_downlink_band",
+    "decode_downlink_band",
+    "encode_uplink",
+    "decode_uplink",
+]
+
+#: Initial downlink slab size; the regrow handshake doubles from here.
+DOWN_MIN_BYTES = 1 << 20
+#: Initial per-worker uplink region size; regrown on worker overflow.
+UP_BAND_MIN_BYTES = 1 << 19
+
+# Send-log item tags in the uplink metadata stream (mirror _SendLog's
+# "s"/"b"/"m"/"mb" string tags as small ints).
+_TAG_SINGLE = 0
+_TAG_SINGLES_BATCH = 1
+_TAG_MANY = 2
+_TAG_MANY_BATCH = 3
+
+
+@dataclass
+class ExchangeStats:
+    """Cumulative master-side byte accounting for the shard exchange.
+
+    ``bytes_pipe`` counts every byte that still crosses a ``Pipe`` (control
+    messages, acks, gathers, and any overflow-round fallback payloads);
+    ``bytes_shm`` counts the bytes materialised into the shared slabs.  The
+    regrow/fallback counters make the handshake observable in tests.
+    """
+
+    bytes_pipe: int = 0
+    bytes_shm: int = 0
+    rounds: int = 0
+    regrows_down: int = 0
+    regrows_up: int = 0
+    fallback_rounds: int = 0
+
+
+def _msg_key(enc: FrameEncoder, msg: object) -> tuple[int, int, int]:
+    """``(is_hop, frame, step)`` for one send-log or inbox message.
+
+    Hops are encoded *structurally* — the inner ``RoutedMessage`` is framed
+    (shared via the memo) and the step travels as an int — so every decoded
+    copy of a logical hop holds the same message object, which the
+    receiver-side ``(message identity, step)`` dedup requires.
+    """
+    if isinstance(msg, Hop):
+        return (1, enc.encode(msg.msg), msg.step)
+    return (0, enc.encode(msg), -1)
+
+
+def _decode_msg(dec: FrameDecoder, is_hop: int, ref: int, step: int) -> object:
+    return Hop(dec.decode(ref), step) if is_hop else dec.decode(ref)
+
+
+# ----------------------------------------------------------------------
+# Downlink: master -> workers
+# ----------------------------------------------------------------------
+
+
+def encode_downlink_shared(
+    arena: ByteArena, enc: FrameEncoder, hop_delivery: HopDelivery | None
+) -> tuple[int, int, int] | None:
+    """Write the round's shared hop columns once, for every band.
+
+    Returns ``(steps_off, refs_off, n_rows)`` or ``None`` when no plane
+    delivery is pending.  ``refs`` holds one frame offset per logical-hop
+    row; a message referenced by many rows or bands is framed exactly once.
+    """
+    if hop_delivery is None:
+        return None
+    steps = np.ascontiguousarray(hop_delivery.steps, dtype=np.int32)
+    steps_off = arena.put_array(steps)
+    msgs = hop_delivery.msgs
+    refs = np.fromiter(
+        (enc.encode(m) for m in msgs), dtype=np.int64, count=len(msgs)
+    )
+    refs_off = arena.put_array(refs)
+    return (steps_off, refs_off, len(msgs))
+
+
+def decode_downlink_shared(
+    buf: memoryview, dec: FrameDecoder, shared_desc: tuple[int, int, int] | None
+) -> tuple[list[object], np.ndarray] | None:
+    """Rebuild ``(msgs, steps)`` from the shared hop columns."""
+    if shared_desc is None:
+        return None
+    steps_off, refs_off, n_rows = shared_desc
+    steps = read_array(buf, steps_off, np.dtype(np.int32), n_rows).copy()
+    refs = read_array(buf, refs_off, np.dtype(np.int64), n_rows).tolist()
+    msgs = [dec.decode(ref) for ref in refs]
+    return (msgs, steps)
+
+
+def encode_downlink_band(
+    arena: ByteArena,
+    enc: FrameEncoder,
+    control: tuple,
+    inboxes: dict[int, list],
+    hop_rows: dict[int, np.ndarray] | None,
+) -> tuple:
+    """Encode one band's private payload; returns its descriptor tuple.
+
+    ``control`` is the small non-bulk remainder ``(leaves, joins, stalled,
+    calls)`` and travels as one pickled frame.  Inboxes flatten into a
+    ``(node, count)`` header table plus ``(sender, frame, step)`` entry
+    triples; hop-row arrays flatten into a ``(node, count)`` header table
+    plus one concatenated int32 row column.
+    """
+    control_off = arena.put_bytes(
+        pickle.dumps(control, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    hdr: list[int] = []
+    entries: list[int] = []
+    for v, inbox in inboxes.items():
+        hdr.append(v)
+        hdr.append(len(inbox))
+        for sender, msg in inbox:
+            is_hop, ref, step = _msg_key(enc, msg)
+            entries.append(sender)
+            entries.append(ref)
+            entries.append((step << 1) | is_hop)
+    inbox_hdr_off = arena.put_array(np.array(hdr, dtype=np.int64))
+    entries_off = arena.put_array(np.array(entries, dtype=np.int64))
+    rows_hdr: list[int] = []
+    rows_cat = np.empty(0, dtype=np.int32)
+    if hop_rows:
+        cols = []
+        for v, rows in hop_rows.items():
+            rows_hdr.append(v)
+            rows_hdr.append(len(rows))
+            cols.append(rows)
+        rows_cat = np.concatenate(cols).astype(np.int32, copy=False)
+    rows_hdr_off = arena.put_array(np.array(rows_hdr, dtype=np.int64))
+    rows_off = arena.put_array(rows_cat)
+    return (
+        control_off,
+        inbox_hdr_off,
+        len(inboxes),
+        entries_off,
+        len(entries) // 3,
+        rows_hdr_off,
+        len(rows_hdr) // 2,
+        rows_off,
+        int(rows_cat.size),
+    )
+
+
+def decode_downlink_band(
+    buf: memoryview, dec: FrameDecoder, desc: tuple
+) -> tuple[tuple, dict[int, list], dict[int, np.ndarray]]:
+    """Rebuild ``(control, inboxes, hop_rows)`` from a band descriptor."""
+    (
+        control_off,
+        inbox_hdr_off,
+        n_nodes,
+        entries_off,
+        n_entries,
+        rows_hdr_off,
+        n_row_nodes,
+        rows_off,
+        n_rows_total,
+    ) = desc
+    control = pickle.loads(read_frame(buf, control_off))
+    hdr = read_array(buf, inbox_hdr_off, np.dtype(np.int64), 2 * n_nodes).tolist()
+    ent = read_array(buf, entries_off, np.dtype(np.int64), 3 * n_entries).tolist()
+    inboxes: dict[int, list] = {}
+    e = 0
+    for i in range(n_nodes):
+        v = hdr[2 * i]
+        count = hdr[2 * i + 1]
+        inbox = []
+        for _ in range(count):
+            sender = ent[e]
+            ref = ent[e + 1]
+            packed = ent[e + 2]
+            e += 3
+            inbox.append((sender, _decode_msg(dec, packed & 1, ref, packed >> 1)))
+        inboxes[v] = inbox
+    rows_hdr = read_array(
+        buf, rows_hdr_off, np.dtype(np.int64), 2 * n_row_nodes
+    ).tolist()
+    rows_cat = read_array(buf, rows_off, np.dtype(np.int32), n_rows_total)
+    hop_rows: dict[int, np.ndarray] = {}
+    lo = 0
+    for i in range(n_row_nodes):
+        v = rows_hdr[2 * i]
+        count = rows_hdr[2 * i + 1]
+        hop_rows[v] = rows_cat[lo : lo + count].copy()
+        lo += count
+    return control, inboxes, hop_rows
+
+
+# ----------------------------------------------------------------------
+# Uplink: workers -> master
+# ----------------------------------------------------------------------
+
+
+def encode_uplink(
+    arena: ByteArena, enc: FrameEncoder, items: list, marks: list, plane_pack
+) -> tuple:
+    """Encode one worker's round output into its uplink region.
+
+    ``items``/``marks`` are the :class:`~repro.sim.shard._SendLog` streams;
+    ``plane_pack`` is its ``(msgs, steps, rows, lens, flat)`` hop columns
+    (or ``None``).  Raises :class:`~repro.util.arena.ArenaFull` when the
+    region is too small — the caller then falls back to the pipe for this
+    round and requests a regrow.
+    """
+    marks_arr = np.array(marks, dtype=np.int64).reshape(-1)
+    marks_off = arena.put_array(marks_arr)
+    meta: list[int] = []
+    for item in items:
+        tag = item[0]
+        if tag == "s":
+            meta.append(_TAG_SINGLE)
+            meta.append(item[1])
+            meta.extend(_msg_key(enc, item[2]))
+        elif tag == "b":
+            pairs = item[1]
+            meta.append(_TAG_SINGLES_BATCH)
+            meta.append(len(pairs))
+            for dst, msg in pairs:
+                meta.append(dst)
+                meta.extend(_msg_key(enc, msg))
+        elif tag == "m":
+            dsts = item[1]
+            meta.append(_TAG_MANY)
+            meta.append(len(dsts))
+            meta.extend(_msg_key(enc, item[2]))
+            meta.extend(dsts)
+        else:  # "mb"
+            pairs = item[1]
+            meta.append(_TAG_MANY_BATCH)
+            meta.append(len(pairs))
+            for dsts, msg in pairs:
+                meta.append(len(dsts))
+                meta.extend(_msg_key(enc, msg))
+                meta.extend(dsts)
+    meta_off = arena.put_array(np.array(meta, dtype=np.int64))
+    if plane_pack is not None:
+        msgs, steps, rows, lens, flat = plane_pack
+        refs = np.fromiter(
+            (enc.encode(m) for m in msgs), dtype=np.int64, count=len(msgs)
+        )
+        refs_off = arena.put_array(refs)
+        steps_off = arena.put_array(np.array(steps, dtype=np.int32))
+        rows_off = arena.put_array(np.array(rows, dtype=np.int32))
+        lens_off = arena.put_array(np.array(lens, dtype=np.int32))
+        flat_off = arena.put_array(np.array(flat, dtype=np.int32))
+        plane_desc = (
+            refs_off,
+            len(msgs),
+            steps_off,
+            rows_off,
+            lens_off,
+            len(rows),
+            flat_off,
+            len(flat),
+        )
+    else:
+        plane_desc = None
+    return (
+        marks_off,
+        len(marks),
+        meta_off,
+        len(meta),
+        plane_desc,
+        arena.used,
+    )
+
+
+def decode_uplink(buf: memoryview, dec: FrameDecoder, desc: tuple) -> tuple:
+    """Rebuild ``(items, marks, plane_pack)`` from one worker's descriptor.
+
+    The output shapes match what PR 7's pickled ``("sends", ...)`` payload
+    carried — plain-int lists and per-band object lists — so the master's
+    splice loop consumes them unchanged.
+    """
+    marks_off, n_marks, meta_off, meta_len, plane_desc, _used = desc
+    marks_flat = read_array(buf, marks_off, np.dtype(np.int64), 3 * n_marks)
+    marks = [tuple(row) for row in marks_flat.reshape(-1, 3).tolist()]
+    meta = read_array(buf, meta_off, np.dtype(np.int64), meta_len).tolist()
+    items: list[tuple] = []
+    i = 0
+    while i < meta_len:
+        tag = meta[i]
+        if tag == _TAG_SINGLE:
+            dst, is_hop, ref, step = meta[i + 1 : i + 5]
+            items.append(("s", dst, _decode_msg(dec, is_hop, ref, step)))
+            i += 5
+        elif tag == _TAG_SINGLES_BATCH:
+            count = meta[i + 1]
+            i += 2
+            pairs = []
+            for _ in range(count):
+                dst, is_hop, ref, step = meta[i : i + 4]
+                pairs.append((dst, _decode_msg(dec, is_hop, ref, step)))
+                i += 4
+            items.append(("b", pairs))
+        elif tag == _TAG_MANY:
+            count, is_hop, ref, step = meta[i + 1 : i + 5]
+            dsts = tuple(meta[i + 5 : i + 5 + count])
+            items.append(("m", dsts, _decode_msg(dec, is_hop, ref, step)))
+            i += 5 + count
+        else:  # _TAG_MANY_BATCH
+            count = meta[i + 1]
+            i += 2
+            mpairs = []
+            for _ in range(count):
+                ndsts, is_hop, ref, step = meta[i : i + 4]
+                dsts = tuple(meta[i + 4 : i + 4 + ndsts])
+                mpairs.append((dsts, _decode_msg(dec, is_hop, ref, step)))
+                i += 4 + ndsts
+            items.append(("mb", mpairs))
+    if plane_desc is not None:
+        refs_off, n_msgs, steps_off, rows_off, lens_off, n_sends, flat_off, n_flat = (
+            plane_desc
+        )
+        refs = read_array(buf, refs_off, np.dtype(np.int64), n_msgs).tolist()
+        msgs = [dec.decode(ref) for ref in refs]
+        steps = read_array(buf, steps_off, np.dtype(np.int32), n_msgs).tolist()
+        rows = read_array(buf, rows_off, np.dtype(np.int32), n_sends).tolist()
+        lens = read_array(buf, lens_off, np.dtype(np.int32), n_sends).tolist()
+        flat = read_array(buf, flat_off, np.dtype(np.int32), n_flat).tolist()
+        plane_pack = (msgs, steps, rows, lens, flat)
+    else:
+        plane_pack = None
+    return items, marks, plane_pack

@@ -298,6 +298,19 @@ class HopPlane:
             self._flat,
         )
 
+    def pack(
+        self,
+    ) -> tuple[list[object], list[int], list[int], list[int], list[int]]:
+        """The live columns as ``(msgs, steps, rows, lens, flat)``.
+
+        This is the shard uplink's transport tuple: the source column is
+        dropped because the master replays each node's plane segment under
+        that node's own id while splicing (:mod:`repro.sim.shard`), and the
+        int columns ride the shared uplink slab as int32 arrays
+        (:mod:`repro.sim.exchange`).
+        """
+        return (self._msgs, self._steps, self._rows, self._lens, self._flat)
+
     def close_round(self) -> FrozenHopRound | None:
         """Freeze this round's hop sends; ``None`` when there were none.
 

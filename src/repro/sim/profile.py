@@ -38,6 +38,11 @@ class PhaseTimings:
     band this round.  The ``compute`` figure is the master-side phase time
     (dispatch + worker wait + splice), so ``max(shards)`` vs ``compute``
     separates worker imbalance from serialisation overhead.
+
+    ``exchange_bytes_pipe`` / ``exchange_bytes_shm`` split the round's
+    shard-exchange traffic between the pickled control plane and the
+    shared-memory slabs (:mod:`repro.sim.exchange`); both are zero on
+    single-process rounds.
     """
 
     adversary: float
@@ -45,6 +50,8 @@ class PhaseTimings:
     compute: float
     close: float
     shards: tuple[float, ...] = ()
+    exchange_bytes_pipe: int = 0
+    exchange_bytes_shm: int = 0
 
     @property
     def total(self) -> float:
@@ -55,6 +62,9 @@ class PhaseTimings:
         out = {name: getattr(self, name) for name in PHASES}
         if self.shards:
             out["shards"] = list(self.shards)
+        if self.exchange_bytes_pipe or self.exchange_bytes_shm:
+            out["exchange_bytes_pipe"] = self.exchange_bytes_pipe
+            out["exchange_bytes_shm"] = self.exchange_bytes_shm
         return out
 
 
@@ -74,9 +84,19 @@ class PhaseProfiler:
         compute: float,
         close: float,
         shards: tuple[float, ...] = (),
+        exchange_bytes_pipe: int = 0,
+        exchange_bytes_shm: int = 0,
     ) -> PhaseTimings:
         """File one round's phase durations; returns the frozen record."""
-        timings = PhaseTimings(adversary, receive, compute, close, shards)
+        timings = PhaseTimings(
+            adversary,
+            receive,
+            compute,
+            close,
+            shards,
+            exchange_bytes_pipe,
+            exchange_bytes_shm,
+        )
         self.history.append(timings)
         return timings
 
@@ -97,6 +117,12 @@ class PhaseProfiler:
     def total_time(self) -> float:
         """Cumulative wall-time over all rounds and phases."""
         return sum(t.total for t in self.history)
+
+    def exchange_totals(self) -> tuple[int, int]:
+        """Cumulative ``(pipe, shm)`` shard-exchange bytes over all rounds."""
+        pipe = sum(t.exchange_bytes_pipe for t in self.history)
+        shm = sum(t.exchange_bytes_shm for t in self.history)
+        return pipe, shm
 
     def mean_per_round(self) -> dict[str, float]:
         """Mean seconds per phase per round (all-zero when no rounds ran)."""

@@ -9,12 +9,23 @@ position bands, each owned by a persistent forked worker process, and every
 round the master
 
 1. runs the adversary and receive phases as usual (single-process),
-2. ships each worker its band's inboxes (plus the shared hop columns),
+2. encodes each worker's band payload — inboxes, shared hop columns, and
+   the control scalars — into a shared-memory **downlink slab**
+   (:mod:`repro.sim.exchange`), then sends only offsets and counts down
+   the pipe,
 3. lets workers run ``on_round`` for their nodes — in sorted id order, with
-   the nodes' own rng streams, collecting sends into a local log —
+   the nodes' own rng streams, collecting sends into a local log — which
+   each worker encodes into its region of a shared **uplink slab**,
 4. splices the returned send logs back into the master network **in global
    sorted node-id order**, re-canonicalising routed messages by ``msg_id``,
 5. closes the send phase, traces, and records metrics exactly as before.
+
+The pipes are a *control plane*: a round's control message and ack are a
+few hundred bytes regardless of traffic.  Bulk bytes cross the boundary
+exactly once, as shared-memory writes (``exchange_bytes_shm``), instead of
+being pickled per worker per round (PR 7 moved ~16 MB/round through the
+pipes at n=512, W=2; the counters on :class:`ShardRunner.stats` make the
+reduction observable in ``repro profile --workers``).
 
 Determinism argument (pinned by the workers∈{1,2,4} identity suite):
 
@@ -27,45 +38,59 @@ Determinism argument (pinned by the workers∈{1,2,4} identity suite):
   single-process loop *is* "nodes in sorted id order, sends in issue
   order".
 * **Message identity** — receiver-side dedup is by ``(message identity,
-  step)``.  Pickling across the process boundary would split one logical
-  message into per-worker copies, so the master re-canonicalises every
-  routed message by its ``msg_id`` (unique per logical request by
-  construction) before it enters the network; all receiver copies of one
-  logical hop are again one object (or one plane row).
+  step)``.  Frame encoding across the process boundary memoises by object
+  identity and decodes with a per-offset memo (:mod:`repro.util.arena`),
+  reproducing exactly the sharing structure a per-payload pickle memo gave
+  PR 7; the master additionally re-canonicalises every routed message by
+  its ``msg_id`` (unique per logical request by construction) before it
+  enters the network, so all receiver copies of one logical hop are again
+  one object (or one plane row).
 * **Everything else is master-side** — churn, fault fates, delivery
   grouping, tracing, and metrics never left the master, so their rng and
   ordering are untouched.
 
-Scalar node state (phase / epoch / position) is published into a
-``multiprocessing.shared_memory`` slab (:class:`repro.core.nodestore.NodeStore`
-columns): each worker writes its band's rows — bands are contiguous row
-ranges, so a shard's published state is an array slice — and the master
-reads population aggregates without gathering objects.  Full protocol
-objects cross the boundary only at explicit :meth:`ShardRunner.sync_protocols`
-gather points (audits, fingerprints).
+Slab lifecycle: the master owns every segment (created through
+:mod:`repro.util.arena`'s tracked registry and destroyed in a ``finally``
+at :meth:`ShardRunner.close`, so a broken pipe during teardown cannot leak
+``/dev/shm`` blocks).  When a downlink round outgrows the slab the master
+allocates a doubled generation, re-encodes, and announces the new
+``(gen, name)`` in the control message — workers re-attach on the gen
+bump.  When a worker's uplink region overflows, that worker falls back to
+the pipe for that one round (tagged, and honestly counted as pipe bytes)
+and the master regrows the uplink slab before the next round's control.
 
-Cost model: this is a *correctness-first* decomposition.  On a single-core
-host the pickling of inboxes and send logs makes ``workers > 1`` slower
-than the reference path; the wins are (a) the engine-level scaffolding for
-multi-core hosts and (b) the pinned proof that the round computation is
-band-decomposable without observable drift.
+Scalar node state (phase / epoch / position) is published into a third
+shared slab (:class:`repro.core.nodestore.NodeStore` columns): each worker
+writes its band's rows — bands are contiguous row ranges, so a shard's
+published state is an array slice — and the master reads population
+aggregates without gathering objects.  Full protocol objects cross the
+boundary only at explicit :meth:`ShardRunner.sync_protocols` gather points
+(audits, fingerprints).
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import pickle
 from itertools import accumulate
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.nodestore import NodeStore
 from repro.routing.messages import Hop, RoutedMessage
+from repro.sim import exchange
 from repro.sim.hopplane import HopDelivery, HopPlane
+from repro.util import arena as shmseg
+from repro.util.arena import ArenaFull, ByteArena, FrameDecoder, FrameEncoder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.sim.engine import Engine
 
 __all__ = ["band_of", "assign_bands", "ShardSlab", "ShardRunner"]
+
+
+def _dumps(obj: object) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 # ----------------------------------------------------------------------
@@ -108,15 +133,15 @@ class ShardSlab:
 
     Created by the master before forking; workers inherit the mapping
     through ``fork`` and write their band's rows in place.  The master owns
-    the lifecycle (:meth:`close` unlinks the block).
+    the lifecycle (:meth:`close` unlinks the block via the tracked segment
+    registry, so a leak is assertable with
+    :func:`repro.util.arena.live_segments`).
     """
 
     def __init__(self, capacity: int) -> None:
-        from multiprocessing import shared_memory
-
         self.capacity = capacity
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=NodeStore.nbytes_for(capacity)
+        self._shm = shmseg.create_segment(
+            NodeStore.nbytes_for(capacity), "shard-nodestore"
         )
         self._closed = False
 
@@ -130,11 +155,7 @@ class ShardSlab:
         if self._closed:
             return
         self._closed = True
-        try:
-            self._shm.close()
-            self._shm.unlink()
-        except (FileNotFoundError, BufferError):  # pragma: no cover
-            pass
+        shmseg.destroy_segment(self._shm)
 
 
 # ----------------------------------------------------------------------
@@ -188,10 +209,7 @@ class _SendLog:
         self.marks.append((node, len(self.items), plane_hi))
 
     def plane_pack(self):
-        if self.plane is None:
-            return None
-        _, msgs, steps, srcs, rows, lens, flat = self.plane.columns()
-        return (msgs, steps, rows, lens, flat)
+        return self.plane.pack() if self.plane is not None else None
 
 
 # ----------------------------------------------------------------------
@@ -211,13 +229,17 @@ def _export_state(proto) -> dict:
     return out
 
 
-def _worker_main(engine: "Engine", band: int, conn, store: NodeStore) -> None:
+def _worker_main(
+    engine: "Engine", band: int, conn, store: NodeStore, down_shm, up_shm
+) -> None:
     """Persistent worker loop: owns one band of nodes, forked from master.
 
     The forked engine snapshot supplies protocols, rng streams, lifecycle
     and the epoch cache; from here on only the owned band's objects are
-    touched, and the only channel back is the per-round send log (plus
-    explicit gathers).
+    touched, and the only channel back is the per-round uplink region
+    (plus explicit gathers).  ``down_shm`` / ``up_shm`` are the inherited
+    generation-0 slabs; the control message announces regrown generations,
+    which the worker re-attaches by name.
     """
     from repro.sim.engine import NodeContext
 
@@ -235,18 +257,46 @@ def _worker_main(engine: "Engine", band: int, conn, store: NodeStore) -> None:
     # direct wall-clock reads here); an unprofiled run measures nothing.
     clock = engine.profiler.clock if engine.profiler is not None else None
     ordered = sorted(owned)
+    down_gen = 0
+    up_gen = 0
     while True:
-        cmd, payload = conn.recv()
+        cmd, payload = pickle.loads(conn.recv_bytes())
         if cmd == "stop":
-            conn.send(("bye", None))
+            conn.send_bytes(_dumps(("bye", None)))
+            shmseg.close_segment(down_shm)
+            shmseg.close_segment(up_shm)
             return
         if cmd == "gather":
-            conn.send(
-                ("state", {v: _export_state(protocols[v]) for v in ordered})
+            conn.send_bytes(
+                _dumps(("state", {v: _export_state(protocols[v]) for v in ordered}))
             )
             continue
         # cmd == "round"
-        (t, leaves, joins, stalled, calls, inboxes, hop_pack) = payload
+        (
+            t,
+            d_gen,
+            d_name,
+            shared_desc,
+            band_desc,
+            u_gen,
+            u_name,
+            u_band_bytes,
+        ) = payload
+        if d_gen != down_gen:
+            shmseg.close_segment(down_shm)
+            down_shm = shmseg.attach_segment(d_name)
+            down_gen = d_gen
+        if u_gen != up_gen:
+            shmseg.close_segment(up_shm)
+            up_shm = shmseg.attach_segment(u_name)
+            up_gen = u_gen
+        dec = FrameDecoder(down_shm.buf)
+        shared = exchange.decode_downlink_shared(down_shm.buf, dec, shared_desc)
+        control, inboxes, hop_rows = exchange.decode_downlink_band(
+            down_shm.buf, dec, band_desc
+        )
+        leaves, joins, stalled_ids, calls = control
+        stalled = set(stalled_ids)
         t0 = clock() if clock is not None else 0.0
         for v in leaves:
             owned.discard(v)
@@ -266,9 +316,8 @@ def _worker_main(engine: "Engine", band: int, conn, store: NodeStore) -> None:
         if engine.services.epoch_cache is not None:
             engine.services.epoch_cache.begin_round(t)
         delivery = None
-        hop_rows = None
-        if hop_pack is not None:
-            msgs, steps, hop_rows = hop_pack
+        if shared is not None:
+            msgs, steps = shared
             delivery = HopDelivery(msgs, steps, hop_rows, {}, total=0)
         log = _SendLog(plane_on)
         for v in ordered:
@@ -282,7 +331,7 @@ def _worker_main(engine: "Engine", band: int, conn, store: NodeStore) -> None:
                 params=params,
                 joined_round=joined[v],
                 network=log,
-                hops=hop_rows.get(v) if hop_rows is not None else None,
+                hops=hop_rows.get(v) if delivery is not None else None,
                 hop_delivery=delivery,
             )
             proto = protocols[v]
@@ -291,7 +340,26 @@ def _worker_main(engine: "Engine", band: int, conn, store: NodeStore) -> None:
         for v in ordered:
             protocols[v].publish_state(store, store.slot_of(v))
         secs = (clock() - t0) if clock is not None else 0.0
-        conn.send(("sends", (log.items, log.marks, log.plane_pack(), secs)))
+        up_arena = ByteArena(
+            up_shm.buf, band * u_band_bytes, u_band_bytes
+        )
+        up_enc = FrameEncoder(up_arena)
+        try:
+            desc = exchange.encode_uplink(
+                up_arena, up_enc, log.items, log.marks, log.plane_pack()
+            )
+            conn.send_bytes(_dumps(("sends", (desc, secs))))
+        except ArenaFull as exc:
+            # This round travels the pipe; the master regrows the uplink
+            # slab before the next control message.
+            conn.send_bytes(
+                _dumps(
+                    (
+                        "sends_pipe",
+                        (log.items, log.marks, log.plane_pack(), secs, exc.needed),
+                    )
+                )
+            )
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +378,10 @@ class ShardRunner:
         self._canon: dict[object, tuple[RoutedMessage, int]] = {}
         self._canon_ttl = 2 * engine.params.lam + 6
         self.last_shard_seconds: tuple[float, ...] = ()
+        #: Cumulative exchange byte counters (always on: integer adds only).
+        self.stats = exchange.ExchangeStats()
+        #: ``(pipe, shm)`` bytes of the most recent round, for PhaseTimings.
+        self.last_round_bytes: tuple[int, int] = (0, 0)
         # Band map for every currently known node; joins are added as the
         # adversary creates them.
         alive = sorted(engine.alive)
@@ -326,6 +398,20 @@ class ShardRunner:
         for v in alive:
             engine._protocols[v].publish_state(store, store.slot_of(v))
         engine.node_store = store
+        # Exchange slabs: one master-written downlink arena, one uplink slab
+        # in W equal worker regions.  Workers inherit generation 0 via fork.
+        self._down_gen = 0
+        self._down_shm = shmseg.create_segment(
+            exchange.DOWN_MIN_BYTES, "shard-downlink"
+        )
+        self._down_arena = ByteArena(self._down_shm.buf)
+        self._down_enc = FrameEncoder(self._down_arena)
+        self._up_gen = 0
+        self._up_band_bytes = exchange.UP_BAND_MIN_BYTES
+        self._up_shm = shmseg.create_segment(
+            workers * self._up_band_bytes, "shard-uplink"
+        )
+        self._up_grow_to = 0  # pending per-band regrow request (bytes)
         ctx = multiprocessing.get_context("fork")
         self._conns = []
         self._procs = []
@@ -333,7 +419,7 @@ class ShardRunner:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(engine, k, child, store),
+                args=(engine, k, child, store, self._down_shm, self._up_shm),
                 daemon=True,
             )
             proc.start()
@@ -342,6 +428,20 @@ class ShardRunner:
             self._procs.append(proc)
         self._closed = False
         atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    # Control plane (every pipe byte is counted)
+    # ------------------------------------------------------------------
+
+    def _send_obj(self, conn, obj: object) -> None:
+        blob = _dumps(obj)
+        self.stats.bytes_pipe += len(blob)
+        conn.send_bytes(blob)
+
+    def _recv_obj(self, conn) -> object:
+        blob = conn.recv_bytes()
+        self.stats.bytes_pipe += len(blob)
+        return pickle.loads(blob)
 
     # ------------------------------------------------------------------
     # Round execution
@@ -367,6 +467,7 @@ class ShardRunner:
         """Dispatch one compute phase to the workers and splice the sends."""
         engine = self.engine
         faults = engine.faults
+        pipe0, shm0 = self.stats.bytes_pipe, self.stats.bytes_shm
         # Stall draws happen master-side, for every alive node in the same
         # order as the reference loop (FaultInjector counts them).
         stalled: set[int] = set()
@@ -400,38 +501,117 @@ class ShardRunner:
         engine._pending_node_calls = []
         for v, inbox in inboxes.items():
             per[self.band(v)]["inboxes"][v] = inbox
-        hop_packs: list = [None] * self.workers
+        by_band: list[dict] | None = None
         if hop_delivery is not None:
-            by_band: list[dict] = [{} for _ in range(self.workers)]
+            by_band = [{} for _ in range(self.workers)]
             for v, rows in hop_delivery.rows.items():
                 by_band[self.band(v)][v] = rows
-            for k in range(self.workers):
-                hop_packs[k] = (hop_delivery.msgs, hop_delivery.steps, by_band[k])
+        # Encode the downlink; on overflow regrow the slab and re-encode
+        # from scratch (the encoder memo only holds offsets of the current
+        # arena extent).
+        while True:
+            self._down_arena.reset()
+            self._down_enc.reset()
+            try:
+                shared_desc = exchange.encode_downlink_shared(
+                    self._down_arena, self._down_enc, hop_delivery
+                )
+                band_descs = []
+                for k in range(self.workers):
+                    p = per[k]
+                    control = (
+                        p["leaves"],
+                        p["joins"],
+                        tuple(sorted(p["stalled"])),
+                        p["calls"],
+                    )
+                    band_descs.append(
+                        exchange.encode_downlink_band(
+                            self._down_arena,
+                            self._down_enc,
+                            control,
+                            p["inboxes"],
+                            by_band[k] if by_band is not None else None,
+                        )
+                    )
+                break
+            except ArenaFull as exc:
+                self._grow_down(exc.needed)
+        self.stats.bytes_shm += self._down_arena.used
+        # Apply an uplink regrow requested by last round's overflow before
+        # announcing this round (workers switch on the gen bump).
+        if self._up_grow_to:
+            self._grow_up(self._up_grow_to)
+            self._up_grow_to = 0
         for k, conn in enumerate(self._conns):
-            p = per[k]
-            conn.send(
+            self._send_obj(
+                conn,
                 (
                     "round",
                     (
                         t,
-                        p["leaves"],
-                        p["joins"],
-                        p["stalled"],
-                        p["calls"],
-                        p["inboxes"],
-                        hop_packs[k],
+                        self._down_gen,
+                        self._down_shm.name,
+                        shared_desc,
+                        band_descs[k],
+                        self._up_gen,
+                        self._up_shm.name,
+                        self._up_band_bytes,
                     ),
-                )
+                ),
             )
         results = []
+        up_dec = FrameDecoder(self._up_shm.buf)
+        need_up = 0
         for conn in self._conns:
-            kind, payload = conn.recv()
-            assert kind == "sends"
-            results.append(payload)
+            kind, payload = self._recv_obj(conn)
+            if kind == "sends":
+                desc, secs = payload
+                items, marks, plane_pack = exchange.decode_uplink(
+                    self._up_shm.buf, up_dec, desc
+                )
+                self.stats.bytes_shm += desc[-1]
+                results.append((items, marks, plane_pack, secs))
+            else:
+                assert kind == "sends_pipe"
+                items, marks, plane_pack, secs, need = payload
+                self.stats.fallback_rounds += 1
+                need_up = max(need_up, need)
+                results.append((items, marks, plane_pack, secs))
+        if need_up:
+            self._up_grow_to = max(2 * self._up_band_bytes, 2 * need_up)
+        self.stats.rounds += 1
+        self.last_round_bytes = (
+            self.stats.bytes_pipe - pipe0,
+            self.stats.bytes_shm - shm0,
+        )
         self.last_shard_seconds = tuple(r[3] for r in results)
         self._splice(t, ordered, stalled, results)
         self._prune_canon(t)
         engine._gathered_round = -1  # master protocol snapshots are stale now
+
+    def _grow_down(self, needed: int) -> None:
+        """Swap in a doubled downlink generation (old block is unlinked;
+        workers keep valid mappings until they see the gen bump)."""
+        old = self._down_shm
+        new_size = max(2 * old.size, 1 << max(int(needed) - 1, 1).bit_length())
+        self._down_shm = shmseg.create_segment(new_size, "shard-downlink")
+        self._down_gen += 1
+        self._down_arena = ByteArena(self._down_shm.buf)
+        self._down_enc = FrameEncoder(self._down_arena)
+        shmseg.destroy_segment(old)
+        self.stats.regrows_down += 1
+
+    def _grow_up(self, band_bytes: int) -> None:
+        """Reallocate the uplink slab with ``band_bytes`` per worker region."""
+        old = self._up_shm
+        self._up_band_bytes = band_bytes
+        self._up_shm = shmseg.create_segment(
+            self.workers * band_bytes, "shard-uplink"
+        )
+        self._up_gen += 1
+        shmseg.destroy_segment(old)
+        self.stats.regrows_up += 1
 
     def _canon_msg(self, msg: RoutedMessage, t: int) -> RoutedMessage:
         entry = self._canon.get(msg.msg_id)
@@ -520,9 +700,9 @@ class ShardRunner:
     def sync_protocols(self) -> None:
         """Refresh the master's protocol snapshots from the owning workers."""
         for conn in self._conns:
-            conn.send(("gather", None))
+            self._send_obj(conn, ("gather", None))
         for conn in self._conns:
-            kind, states = conn.recv()
+            kind, states = self._recv_obj(conn)
             assert kind == "state"
             for v, state in states.items():
                 proto = self.engine._protocols.get(v)
@@ -535,22 +715,38 @@ class ShardRunner:
         self.engine._pending_node_calls.append((v, name, args))
 
     def close(self) -> None:
+        """Stop the workers and release every shared segment.
+
+        Slab teardown sits in a ``finally``: a worker that died mid-run
+        (broken pipe on the stop message, a failed join) must not leave
+        ``/dev/shm`` blocks behind — the segment registry is asserted
+        empty by the shard-smoke CI job.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("stop", None))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=2)
-            if proc.is_alive():  # pragma: no cover
-                proc.terminate()
-        for conn in self._conns:
-            conn.close()
-        self._privatize_store()
-        self._slab.close()
+        try:
+            for conn in self._conns:
+                try:
+                    self._send_obj(conn, ("stop", None))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=2)
+                if proc.is_alive():  # pragma: no cover
+                    proc.terminate()
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        finally:
+            self._privatize_store()
+            self._down_arena = None
+            self._down_enc = None
+            shmseg.destroy_segment(self._down_shm)
+            shmseg.destroy_segment(self._up_shm)
+            self._slab.close()
 
     def _privatize_store(self) -> None:
         """Copy the shared columns into private memory and drop the views.

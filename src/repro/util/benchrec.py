@@ -60,7 +60,8 @@ def recording_enabled(label: str | None = None) -> bool:
     """
     return label is not None or os.environ.get(RECORD_ENV) == "1"
 
-#: Required per-entry fields and their types (``label`` and ``workers``
+#: Required per-entry fields and their types (``label``, ``workers`` and
+#: the per-round ``exchange_bytes_pipe`` / ``exchange_bytes_shm`` counters
 #: are optional; ``workers`` is absent on records that predate the sharded
 #: engine and means 1).
 _ENTRY_FIELDS: dict[str, type | tuple[type, ...]] = {
@@ -98,8 +99,15 @@ def make_entry(
     created: str | None = None,
     label: str | None = None,
     workers: int | None = None,
+    exchange_bytes_pipe: int | None = None,
+    exchange_bytes_shm: int | None = None,
 ) -> dict:
-    """One schema-valid benchmark entry (RSS sampled at call time)."""
+    """One schema-valid benchmark entry (RSS sampled at call time).
+
+    ``exchange_bytes_pipe`` / ``exchange_bytes_shm`` are *per simulated
+    round* (like ``seconds_per_round``): the shard exchange's control-plane
+    and shared-memory traffic on sharded runs.  Omitted on serial rows.
+    """
     entry = {
         "created": created
         # repro: allow(wallclock): the timestamp is benchmark-history metadata
@@ -114,6 +122,10 @@ def make_entry(
         entry["label"] = str(label)
     if workers is not None:
         entry["workers"] = int(workers)
+    if exchange_bytes_pipe is not None:
+        entry["exchange_bytes_pipe"] = int(exchange_bytes_pipe)
+    if exchange_bytes_shm is not None:
+        entry["exchange_bytes_shm"] = int(exchange_bytes_shm)
     return entry
 
 
@@ -183,3 +195,10 @@ def _validate_entry(entry: object, where: str) -> None:
         or entry["workers"] < 1
     ):
         raise ValueError(f"{where}: workers must be a positive int")
+    for name in ("exchange_bytes_pipe", "exchange_bytes_shm"):
+        if name in entry and (
+            not isinstance(entry[name], int)
+            or isinstance(entry[name], bool)
+            or entry[name] < 0
+        ):
+            raise ValueError(f"{where}: {name} must be a non-negative int")

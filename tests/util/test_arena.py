@@ -1,0 +1,186 @@
+"""Unit tests for the shared-memory arena / framing layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import arena
+from repro.util.arena import (
+    ArenaFull,
+    ByteArena,
+    FrameDecoder,
+    FrameEncoder,
+    read_array,
+    read_frame,
+)
+
+
+def _buf(nbytes: int = 4096) -> memoryview:
+    return memoryview(bytearray(nbytes))
+
+
+# ----------------------------------------------------------------------
+# Bump allocator
+# ----------------------------------------------------------------------
+
+
+class TestByteArena:
+    def test_alloc_bumps_and_aligns(self):
+        a = ByteArena(_buf())
+        assert a.alloc(3) == 0
+        # next allocation rounds the 3-byte cursor up to the 8-byte default
+        assert a.alloc(1) == 8
+        assert a.alloc(2, align=4) == 12
+        assert a.used == 14
+
+    def test_alloc_respects_base_and_size(self):
+        a = ByteArena(_buf(64), base=16, size=24)
+        off = a.alloc(8)
+        assert off == 16  # absolute offset, not region-relative
+        a.alloc(16)
+        with pytest.raises(ArenaFull):
+            a.alloc(1)
+
+    def test_arena_full_reports_needed_bytes(self):
+        a = ByteArena(_buf(16))
+        a.alloc(8)
+        with pytest.raises(ArenaFull) as exc:
+            a.alloc(64)
+        # needed is the total arena size that would have fit everything
+        assert exc.value.needed >= 8 + 64
+        # the failed alloc must not move the cursor
+        assert a.used == 8
+
+    def test_reset_rewinds_to_base(self):
+        a = ByteArena(_buf(64), base=8)
+        a.alloc(16)
+        a.reset()
+        assert a.used == 0
+        assert a.alloc(4) == 8
+
+    def test_frame_roundtrip(self):
+        buf = _buf()
+        a = ByteArena(buf)
+        payload = b"hello arena"
+        off = a.put_bytes(payload)
+        assert bytes(read_frame(buf, off)) == payload
+        # a second frame lands after the first, still readable
+        off2 = a.put_bytes(b"x" * 100)
+        assert bytes(read_frame(buf, off)) == payload
+        assert bytes(read_frame(buf, off2)) == b"x" * 100
+
+    def test_array_roundtrip_and_alignment(self):
+        buf = _buf()
+        a = ByteArena(buf)
+        a.alloc(3)  # misalign the cursor on purpose
+        arr = np.arange(7, dtype=np.int64)
+        off = a.put_array(arr)
+        assert off % 8 == 0
+        out = read_array(buf, off, np.dtype(np.int64), 7)
+        np.testing.assert_array_equal(out, arr)
+        # int32 columns keep 8-byte alignment too (max(8, itemsize))
+        arr32 = np.array([-5, 0, 9], dtype=np.int32)
+        off32 = a.put_array(arr32)
+        assert off32 % 8 == 0
+        np.testing.assert_array_equal(
+            read_array(buf, off32, np.dtype(np.int32), 3), arr32
+        )
+
+    def test_empty_array(self):
+        buf = _buf()
+        a = ByteArena(buf)
+        off = a.put_array(np.empty(0, dtype=np.int32))
+        assert read_array(buf, off, np.dtype(np.int32), 0).size == 0
+
+
+# ----------------------------------------------------------------------
+# Framing with identity memoisation
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_encoder_memoises_by_identity(self):
+        a = ByteArena(_buf())
+        enc = FrameEncoder(a)
+        obj = ("shared", [1, 2, 3])
+        twin = ("shared", [1, 2, 3])  # equal but distinct
+        off1 = enc.encode(obj)
+        off2 = enc.encode(obj)
+        off3 = enc.encode(twin)
+        assert off1 == off2
+        assert off3 != off1
+
+    def test_decoder_reconstructs_sharing(self):
+        buf = _buf()
+        a = ByteArena(buf)
+        enc = FrameEncoder(a)
+        obj = {"k": (1, 2)}
+        off = enc.encode(obj)
+        dec = FrameDecoder(buf)
+        first = dec.decode(off)
+        second = dec.decode(off)
+        assert first == obj
+        assert first is second  # same frame -> same object
+        dec.reset()
+        assert dec.decode(off) is not first
+
+    def test_encoder_reset_forgets_offsets(self):
+        a = ByteArena(_buf())
+        enc = FrameEncoder(a)
+        obj = ("x",)
+        off = enc.encode(obj)
+        a.reset()
+        enc.reset()
+        assert enc.encode(obj) == off  # re-encoded from scratch at base
+
+    def test_encoder_pins_objects(self):
+        # The memo keys on id(); encoding must keep a reference so a
+        # garbage-collected id cannot alias a new object mid-cycle.
+        a = ByteArena(_buf())
+        enc = FrameEncoder(a)
+        offs = {enc.encode((i, "tmp")) for i in range(50)}
+        assert len(offs) == 50  # every temporary got its own frame
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestSegments:
+    def test_create_destroy_updates_registry(self):
+        before = arena.live_segments()
+        shm = arena.create_segment(1024, "test-role")
+        assert (shm.name, "test-role") in arena.live_segments()
+        arena.destroy_segment(shm)
+        assert arena.live_segments() == before
+
+    def test_attach_reads_creator_writes(self):
+        shm = arena.create_segment(64, "test-attach")
+        try:
+            shm.buf[:4] = b"ping"
+            other = arena.attach_segment(shm.name)
+            assert bytes(other.buf[:4]) == b"ping"
+            arena.close_segment(other)
+        finally:
+            arena.destroy_segment(shm)
+
+    def test_destroy_unlinks_despite_live_views(self):
+        # A live numpy view keeps close() from releasing the mapping
+        # (BufferError); the unlink must happen anyway or the segment
+        # leaks into /dev/shm until reboot.
+        shm = arena.create_segment(256, "test-leak")
+        name = shm.name
+        view = np.frombuffer(shm.buf, dtype=np.uint8)
+        arena.destroy_segment(shm)
+        assert all(n != name for n, _role in arena.live_segments())
+        with pytest.raises(FileNotFoundError):
+            arena.attach_segment(name)
+        del view
+        arena.close_segment(shm)  # now releasable; idempotent cleanup
+
+    def test_destroy_is_idempotent(self):
+        shm = arena.create_segment(64, "test-idem")
+        arena.destroy_segment(shm)
+        arena.destroy_segment(shm)  # second unlink is a no-op
