@@ -30,7 +30,7 @@ Quickstart::
     assert sim.probe_report().delivery_rate == 1.0
 """
 
-from repro.config import ProtocolParams, default_params
+from repro.config import ProtocolParams, default_params, env_flag
 from repro.core import MaintenanceNode, MaintenanceSimulation, Phase
 from repro.overlay import LDGGraph, LDSGraph, PositionIndex, build_lds
 from repro.routing import GreedyRouter, SeriesRouter
@@ -53,5 +53,6 @@ __all__ = [
     "SeriesRouter",
     "build_lds",
     "default_params",
+    "env_flag",
     "__version__",
 ]

@@ -37,7 +37,12 @@ from repro.analysis.lint.engine import (
 from repro.analysis.lint.findings import SEVERITIES, Finding
 from repro.analysis.lint.fix import fix_unused_waivers
 from repro.analysis.lint.registry import ALL_RULES, resolve_rules, rule_table
-from repro.analysis.lint.waivers import FLOW_RULE_PREFIX, Waiver, scan_directives
+from repro.analysis.lint.waivers import (
+    FLOW_RULE_PREFIX,
+    SHARD_RULE_PREFIX,
+    Waiver,
+    scan_directives,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -51,6 +56,7 @@ __all__ = [
     "LintReport",
     "Rule",
     "SEVERITIES",
+    "SHARD_RULE_PREFIX",
     "SourceModule",
     "Waiver",
     "fix_unused_waivers",

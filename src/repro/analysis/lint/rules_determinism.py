@@ -40,6 +40,10 @@ FINGERPRINT_PACKAGES = (
     "repro.adversary",
     "repro.faults",
     "repro.scenarios",
+    # The frame codec and segment registry under the zero-copy exchange:
+    # encode/decode order and memo behaviour shape the bytes every sharded
+    # round replays, so arena code answers to the same contract.
+    "repro.util.arena",
 )
 
 #: ``numpy.random`` attributes that touch the *global* generator (the

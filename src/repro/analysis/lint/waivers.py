@@ -26,12 +26,17 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 
-__all__ = ["FLOW_RULE_PREFIX", "Waiver", "scan_directives"]
+__all__ = ["FLOW_RULE_PREFIX", "SHARD_RULE_PREFIX", "Waiver", "scan_directives"]
 
 #: Waivers for rules with this prefix belong to the information-flow
 #: analysis (``repro flow``); the linter's W2 staleness check skips them
 #: and the flow engine audits them instead.
 FLOW_RULE_PREFIX = "flow-"
+
+#: Waivers for rules with this prefix belong to the shard analyzer
+#: (``repro shard-check``); like flow waivers, W2 skips them and the
+#: shard engine audits their staleness itself.
+SHARD_RULE_PREFIX = "shard-"
 
 _WAIVER_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*:?\s*(.*)$")
 _MODULE_RE = re.compile(r"#\s*repro:\s*module\(\s*([A-Za-z0-9_.]+)\s*\)")

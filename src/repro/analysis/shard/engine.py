@@ -1,22 +1,26 @@
-"""The flow engine: orchestrate parsing, summaries, policies, reporting.
+"""The shard-check engine: parse, infer roles, run rules, report.
 
-``run_flow`` is the sibling of :func:`repro.analysis.lint.run_lint` and
-shares its machinery deliberately: the same :class:`SourceModule`
-construction (through a :class:`~repro.analysis.source_cache.SourceCache`,
-so a combined lint+flow run parses each file once), the same
-``# repro: allow(<rule>): <why>`` inline waivers, the same
-``(path, rule, message)``-multiset baseline format, and the same
-:class:`~repro.analysis.lint.findings.Finding` value object — which is
-what lets one SARIF emitter serve both tools.
+``run_shard_check`` is the third sibling of
+:func:`repro.analysis.lint.run_lint` and
+:func:`repro.analysis.flow.run_flow`, and shares their machinery on
+purpose: the same :class:`~repro.analysis.lint.engine.SourceModule`
+construction through a shared
+:class:`~repro.analysis.source_cache.SourceCache` (one parse serves all
+three tools), the same ``# repro: allow(<rule>): <why>`` inline waivers
+(``shard-*`` prefixed — the linter's W2 skips them and this engine audits
+their staleness), the same ``(path, rule, message)``-multiset baseline
+format (``shard-baseline.json``), and the same
+:class:`~repro.analysis.lint.findings.Finding` value object that feeds
+the shared SARIF emitter.
 
-The run itself has three phases:
+The run has three phases:
 
-1. parse every file and index all functions (:class:`ProjectIndex`);
-2. iterate :class:`FunctionAnalyzer` over every function until the
-   summaries reach a fixpoint (bounded by ``max_depth`` passes — the
-   maximum call-chain length taint is tracked through);
-3. one reporting pass that collects findings, matches waivers, audits
-   stale ``flow-*`` waivers, and applies the baseline.
+1. parse every file and index the call graph (:class:`ProjectIndex`,
+   reusable across flow and shard via the ``index`` argument);
+2. infer a process role for every function
+   (:func:`~repro.analysis.shard.roles.infer_roles`);
+3. one reporting pass running rules S1–S5, matching ``shard-*`` waivers,
+   auditing stale ones, and applying the baseline.
 """
 
 from __future__ import annotations
@@ -26,40 +30,37 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.analysis.flow.callgraph import ProjectIndex
-from repro.analysis.flow.policies import (
-    ALL_POLICIES,
-    FlowError,
-    Policy,
-)
-from repro.analysis.flow.summaries import FunctionAnalyzer, Summary
 from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.engine import LintError
 from repro.analysis.lint.findings import Finding
-from repro.analysis.lint.waivers import FLOW_RULE_PREFIX
+from repro.analysis.lint.waivers import SHARD_RULE_PREFIX
+from repro.analysis.shard.roles import RoleMap, infer_roles
+from repro.analysis.shard.rules import (
+    ALL_SHARD_RULES,
+    ShardContext,
+    ShardRule,
+)
 from repro.analysis.source_cache import SourceCache, collect_py_files
 
 __all__ = [
-    "DEFAULT_FLOW_BASELINE_NAME",
-    "DEFAULT_MAX_DEPTH",
-    "FlowReport",
-    "run_flow",
+    "DEFAULT_SHARD_BASELINE_NAME",
+    "ShardReport",
+    "run_shard_check",
 ]
 
 #: File name looked up at the repository root by default.
-DEFAULT_FLOW_BASELINE_NAME = "flow-baseline.json"
-
-#: Default bound on interprocedural propagation (call-chain length).
-DEFAULT_MAX_DEPTH = 8
+DEFAULT_SHARD_BASELINE_NAME = "shard-baseline.json"
 
 
 @dataclass
-class FlowReport:
-    """Everything one flow run produced."""
+class ShardReport:
+    """Everything one shard-check run produced."""
 
     root: Path
     files: int
     functions: int
-    passes: int
-    policies: tuple
+    roles: RoleMap
+    rules: tuple
     findings: list = field(default_factory=list)
     waived: list = field(default_factory=list)
     baselined: list = field(default_factory=list)
@@ -75,8 +76,8 @@ class FlowReport:
             "root": str(self.root),
             "files": self.files,
             "functions": self.functions,
-            "passes": self.passes,
-            "policies": [p.id for p in self.policies],
+            "roles": self.roles.counts(),
+            "rules": [r.id for r in self.rules],
             "counts": {
                 "active": len(self.findings),
                 "waived": len(self.waived),
@@ -100,43 +101,40 @@ class FlowReport:
                 f"stale baseline entry: {entry['path']} [{entry['rule']}] "
                 "no longer matches anything — remove it"
             )
+        counts = self.roles.counts()
         out.append(
-            f"{self.files} file(s), {self.functions} function(s), "
-            f"{self.passes} pass(es): {len(self.findings)} finding(s), "
+            f"{self.files} file(s), {self.functions} function(s) "
+            f"({counts['master']} master / {counts['worker']} worker / "
+            f"{counts['shared']} shared): {len(self.findings)} finding(s), "
             f"{len(self.waived)} waived, {len(self.baselined)} baselined"
         )
         return "\n".join(out)
 
 
-def run_flow(
+def run_shard_check(
     paths: Iterable[Path | str] | None = None,
     *,
     root: Path | str | None = None,
-    policies: Iterable[Policy] | None = None,
+    rules: Iterable[ShardRule] | None = None,
     baseline: Path | str | Baseline | None = None,
-    max_depth: int = DEFAULT_MAX_DEPTH,
     cache: SourceCache | None = None,
     index: ProjectIndex | None = None,
-) -> FlowReport:
-    """Run the information-flow analysis and return a :class:`FlowReport`.
+) -> ShardReport:
+    """Run the shard analyzer and return a :class:`ShardReport`.
 
-    Arguments mirror :func:`~repro.analysis.lint.run_lint`; ``max_depth``
-    bounds the number of summary-propagation passes, i.e. the longest
-    helper chain taint is tracked through.  Pass the same ``cache`` to
-    both tools to parse each file once, and the same ``index`` to
-    :func:`~repro.analysis.shard.run_shard_check` to build the call graph
-    once (``index`` must have been built over the same module set).
+    Arguments mirror :func:`~repro.analysis.lint.run_lint`.  Pass the same
+    ``cache`` as lint/flow to parse each file once, and the same ``index``
+    as :func:`~repro.analysis.flow.run_flow` to build the call graph once
+    (the umbrella ``repro check`` command does both).
     """
-    policies = tuple(policies) if policies is not None else ALL_POLICIES
-    if max_depth < 1:
-        raise FlowError("max_depth must be at least 1")
+    rules = tuple(rules) if rules is not None else ALL_SHARD_RULES
     root = Path(root) if root is not None else Path.cwd()
     root = root.resolve()
     targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
     try:
         files = collect_py_files(targets)
     except FileNotFoundError as exc:
-        raise FlowError(str(exc)) from None
+        raise LintError(str(exc)) from None
     if cache is None:
         cache = SourceCache(root)
 
@@ -161,44 +159,24 @@ def run_flow(
 
     if index is None:
         index = ProjectIndex(modules)
-    order = sorted(index.functions)
+    role_map = infer_roles(index)
+    ctx = ShardContext(index=index, roles=role_map)
 
-    # Phase 2: summaries to a fixpoint (or the depth bound).
-    summaries: dict[str, Summary] = {}
-    passes = 0
-    for _ in range(max_depth):
-        passes += 1
-        changed = False
-        for qname in order:
-            analyzer = FunctionAnalyzer(
-                index, summaries, index.functions[qname], policies, collect=False
-            )
-            summary = analyzer.run()
-            if summaries.get(qname) != summary:
-                summaries[qname] = summary
-                changed = True
-        if not changed:
-            break
-
-    # Phase 3: reporting pass with converged summaries.
     raw_by_module: dict[str, list[Finding]] = {mod.relpath: [] for mod in modules}
-    for qname in order:
-        analyzer = FunctionAnalyzer(
-            index, summaries, index.functions[qname], policies, collect=True
-        )
-        analyzer.run()
-        raw_by_module[analyzer.relpath].extend(analyzer.findings)
+    for rule in rules:
+        for f in rule.check(ctx):
+            raw_by_module.setdefault(f.path, []).append(f)
 
-    policy_ids = {p.id for p in policies}
+    rule_ids = {r.id for r in rules}
     waived: list[Finding] = []
     for mod in modules:
-        raw = raw_by_module[mod.relpath]
-        flow_waivers = [
-            w for w in mod.waivers if w.rule.startswith(FLOW_RULE_PREFIX)
+        raw = sorted(raw_by_module.get(mod.relpath, []))
+        shard_waivers = [
+            w for w in mod.waivers if w.rule.startswith(SHARD_RULE_PREFIX)
         ]
-        for w in flow_waivers:
+        for w in shard_waivers:
             w.used = False
-        live = [w for w in flow_waivers if w.justified]
+        live = [w for w in shard_waivers if w.justified]
         for f in raw:
             matched = False
             for w in live:
@@ -206,17 +184,17 @@ def run_flow(
                     w.used = True
                     matched = True
             (waived if matched else active).append(f)
-        # Stale flow waivers are audited here (the linter's W2 skips them:
-        # only this engine knows which flow findings exist).
+        # Stale shard waivers are audited here (the linter's W2 skips them:
+        # only this engine knows which shard findings exist).
         for w in live:
-            if not w.used and (w.rule in policy_ids or policies == ALL_POLICIES):
+            if not w.used and (w.rule in rule_ids or rules == ALL_SHARD_RULES):
                 active.append(
                     Finding(
                         path=mod.relpath,
                         line=w.comment_line,
                         rule="unused-waiver",
                         message=(
-                            f"waiver for `{w.rule}` matches no flow finding "
+                            f"waiver for `{w.rule}` matches no shard finding "
                             f"(target line {w.target_line})"
                         ),
                         fix_hint="delete the waiver comment "
@@ -233,12 +211,12 @@ def run_flow(
     else:
         base = Baseline.load(baseline)
     final, baselined, stale = base.partition(active)
-    return FlowReport(
+    return ShardReport(
         root=root,
         files=len(files),
         functions=len(index.functions),
-        passes=passes,
-        policies=policies,
+        roles=role_map,
+        rules=rules,
         findings=final,
         waived=waived,
         baselined=baselined,

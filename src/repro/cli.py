@@ -49,6 +49,16 @@ Commands
     ``src/repro``; exits non-zero on any finding that is neither waived
     (``# repro: allow(flow-...): why``) nor in ``flow-baseline.json``.
     ``--list-policies`` prints the policy table.
+``shard-check [--format text|json|sarif] [--rules S,...]``
+    Run the process-role & shared-memory ownership analyzer for the
+    sharded engine (rules S1–S5, see ``docs/ANALYSIS.md``) over
+    ``src/repro``; exits non-zero on any finding that is neither waived
+    (``# repro: allow(shard-...): why``) nor in ``shard-baseline.json``.
+    ``--list-rules`` prints the rule table.
+``check [--format text|json|sarif] [--paths P ...]``
+    Umbrella: run lint + flow + shard-check off one shared parse and one
+    call-graph build, with a combined exit code; ``--format sarif``
+    merges all three tools into one multi-run SARIF document.
 """
 
 from __future__ import annotations
@@ -493,6 +503,175 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_shard_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.lint import LintError, write_baseline
+    from repro.analysis.shard import (
+        DEFAULT_SHARD_BASELINE_NAME,
+        resolve_shard_rules,
+        run_shard_check,
+        shard_rule_table,
+    )
+
+    if args.list_rules:
+        print(shard_rule_table())
+        return 0
+    root = _repo_root()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_SHARD_BASELINE_NAME
+    )
+    try:
+        rules = resolve_shard_rules(args.rules)
+        if args.update_baseline:
+            report = run_shard_check(paths, root=root, rules=rules, baseline=None)
+            write_baseline(baseline_path, report.findings)
+            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
+            return 0
+        report = run_shard_check(
+            paths,
+            root=root,
+            rules=rules,
+            baseline=None if args.no_baseline else baseline_path,
+        )
+    except LintError as exc:
+        print(f"shard-check: {exc}")
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_report
+
+        meta = {
+            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
+            for r in rules
+        }
+        doc = sarif_report(
+            report.findings, tool_name="repro-shard", rule_meta=meta, root=root
+        )
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Umbrella run: lint + flow + shard-check off one parse and one graph."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.flow import (
+        DEFAULT_FLOW_BASELINE_NAME,
+        ALL_POLICIES,
+        FlowError,
+        ProjectIndex,
+        run_flow,
+    )
+    from repro.analysis.lint import ALL_RULES, DEFAULT_BASELINE_NAME, LintError, run_lint
+    from repro.analysis.shard import (
+        ALL_SHARD_RULES,
+        DEFAULT_SHARD_BASELINE_NAME,
+        run_shard_check,
+    )
+    from repro.analysis.source_cache import SourceCache, collect_py_files
+
+    root = _repo_root()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    targets = paths if paths is not None else [root / "src" / "repro"]
+    cache = SourceCache(root)
+    try:
+        # One parse of the whole target set, one call graph; the three
+        # engines then share both instead of re-doing the expensive work.
+        files = collect_py_files(targets)
+        modules = []
+        for path in files:
+            mod = cache.try_module(path)
+            if mod is not None:
+                modules.append(mod)
+        index = ProjectIndex(modules)
+        lint_report = run_lint(
+            paths, root=root, baseline=root / DEFAULT_BASELINE_NAME, cache=cache
+        )
+        flow_report = run_flow(
+            paths,
+            root=root,
+            baseline=root / DEFAULT_FLOW_BASELINE_NAME,
+            cache=cache,
+            index=index,
+        )
+        shard_report = run_shard_check(
+            paths,
+            root=root,
+            baseline=root / DEFAULT_SHARD_BASELINE_NAME,
+            cache=cache,
+            index=index,
+        )
+    except (LintError, FlowError, FileNotFoundError) as exc:
+        print(f"check: {exc}")
+        return 2
+    ok = lint_report.ok and flow_report.ok and shard_report.ok
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "ok": ok,
+                    "lint": lint_report.to_dict(),
+                    "flow": flow_report.to_dict(),
+                    "shard": shard_report.to_dict(),
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_report
+
+        lint_meta = {
+            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
+            for r in ALL_RULES
+        }
+        flow_meta = {
+            p.id: {"description": p.description, "help": p.fix_hint, "level": "error"}
+            for p in ALL_POLICIES
+        }
+        shard_meta = {
+            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
+            for r in ALL_SHARD_RULES
+        }
+        docs = [
+            sarif_report(
+                lint_report.findings, tool_name="repro-lint",
+                rule_meta=lint_meta, root=root,
+            ),
+            sarif_report(
+                flow_report.findings, tool_name="repro-flow",
+                rule_meta=flow_meta, root=root,
+            ),
+            sarif_report(
+                shard_report.findings, tool_name="repro-shard",
+                rule_meta=shard_meta, root=root,
+            ),
+        ]
+        merged = {
+            "$schema": docs[0]["$schema"],
+            "version": docs[0]["version"],
+            "runs": [run for doc in docs for run in doc["runs"]],
+        }
+        print(json.dumps(merged, indent=2))
+    else:
+        for title, report in (
+            ("lint", lint_report),
+            ("flow", flow_report),
+            ("shard-check", shard_report),
+        ):
+            print(f"== {title} ==")
+            print(report.format_text())
+        print(f"check: {'ok' if ok else 'FAIL'} (parsed {cache.parses} file(s) once)")
+    return 0 if ok else 1
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.c is not None:
@@ -695,6 +874,64 @@ def main(argv: list[str] | None = None) -> int:
         help="print the policy table and exit",
     )
 
+    p_shard = sub.add_parser(
+        "shard-check",
+        help="process-role & shared-memory ownership analyzer (docs/ANALYSIS.md)",
+    )
+    p_shard.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format",
+    )
+    p_shard.add_argument(
+        "--rules",
+        default=None,
+        metavar="S[,S...]",
+        help="only run these rules (ids like `shard-band-ownership` or codes like S1)",
+    )
+    p_shard.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to analyse (default: src/repro)",
+    )
+    p_shard.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: shard-baseline.json at the repo root)",
+    )
+    p_shard.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    p_shard.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p_shard.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
+    p_check = sub.add_parser(
+        "check", help="umbrella: lint + flow + shard-check off one shared parse"
+    )
+    p_check.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (`sarif` merges all three tools into one document)",
+    )
+    p_check.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to analyse (default: src/repro)",
+    )
+
     p_par = sub.add_parser("params", help="show derived parameters for n")
     p_par.add_argument("n", type=int)
     p_par.add_argument("--c", type=float, default=None)
@@ -714,6 +951,8 @@ def main(argv: list[str] | None = None) -> int:
         "scale": _cmd_scale,
         "lint": _cmd_lint,
         "flow": _cmd_flow,
+        "shard-check": _cmd_shard_check,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

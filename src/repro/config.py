@@ -22,12 +22,24 @@ computes them the same way.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.util.bits import num_address_bits
 
-__all__ = ["ProtocolParams", "default_params"]
+__all__ = ["ProtocolParams", "default_params", "env_flag"]
+
+
+def env_flag(name: str) -> bool:
+    """True when environment variable ``name`` holds a truthy value.
+
+    The single sanctioned entry point for boolean feature flags (the D5
+    lint rule confines ``os.environ`` reads to this module): flags read
+    here configure *instrumentation* — e.g. ``REPRO_SHARD_SANITIZE`` —
+    never anything that feeds a fingerprint.
+    """
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)

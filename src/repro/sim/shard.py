@@ -73,9 +73,12 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import pickle
+import threading
+import types
 from itertools import accumulate
 from typing import TYPE_CHECKING, Iterable
 
+from repro.config import env_flag
 from repro.core.nodestore import NodeStore
 from repro.routing.messages import Hop, RoutedMessage
 from repro.sim import exchange
@@ -91,6 +94,79 @@ __all__ = ["band_of", "assign_bands", "ShardSlab", "ShardRunner"]
 
 def _dumps(obj: object) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# Runtime sanitizer (the dynamic sibling of `repro shard-check`)
+# ----------------------------------------------------------------------
+
+#: ``REPRO_SHARD_SANITIZE=1`` arms band-ownership write asserts and
+#: pipe-payload codec asserts on every boundary crossing.  Read once at
+#: import; tests monkeypatch the flag before the runner forks (workers
+#: inherit the armed value through ``fork``).
+_SANITIZE = env_flag("REPRO_SHARD_SANITIZE")
+
+#: Types that must never cross the pipe: the S2 rule's banned set, checked
+#: at runtime.  Locks have no public type, so sample one of each.
+_BANNED_PAYLOAD_TYPES = (
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.GeneratorType,
+    memoryview,
+    type(threading.Lock()),
+    type(threading.RLock()),
+    type(threading.Condition()),
+    type(threading.Event()),
+)
+
+
+def _assert_codec_safe(obj: object, _depth: int = 6) -> None:
+    """Sanitizer: reject boundary-unsafe values before they hit the pipe.
+
+    Containers are walked a few levels deep — enough to cover every real
+    control/uplink payload shape (nested tuples of lists of messages)
+    without turning the assert into a deep traversal of protocol state.
+    """
+    if isinstance(obj, _BANNED_PAYLOAD_TYPES):
+        raise AssertionError(
+            f"shard sanitizer: {type(obj).__name__} crossing the process "
+            "boundary — pipe payloads must stay in the approved codec set "
+            "(see shard-boundary-types in docs/ANALYSIS.md)"
+        )
+    if _depth <= 0:
+        return
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            _assert_codec_safe(k, _depth - 1)
+            _assert_codec_safe(v, _depth - 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for v in obj:
+            _assert_codec_safe(v, _depth - 1)
+
+
+def _assert_band_owned(engine: "Engine", band: int, ids: Iterable[int]) -> None:
+    """Sanitizer: a worker publishes only rows whose position is in its band.
+
+    Ownership is a pure function of the epoch-0 position hash (the same
+    rule :func:`assign_bands` uses), so the check needs no master round
+    trip and cannot itself drift.
+    """
+    workers = engine.workers
+    h = engine.services.position_hash
+    for v in ids:
+        owner = band_of(h.position(v, 0), workers)
+        if owner != band:
+            raise AssertionError(
+                f"shard sanitizer: worker {band} publishing state for node "
+                f"{v}, owned by band {owner} — bands never rebalance"
+            )
+
+
+def _worker_send(conn, obj: object) -> None:
+    """Every worker→master pipe send funnels through here (codec assert)."""
+    if _SANITIZE:
+        _assert_codec_safe(obj)
+    conn.send_bytes(_dumps(obj))
 
 
 # ----------------------------------------------------------------------
@@ -248,10 +324,14 @@ def _worker_main(
         for v, k in engine._shard_bands.items()
         if k == band and v in engine._protocols
     }
+    # repro: allow(shard-master-state): fork-time snapshot read, before any
+    # round — per-round join deltas arrive through the control message
     joined = {v: engine.lifecycle.joined_round(v) for v in owned}
     protocols = engine._protocols
     rngs = engine._rngs
     params = engine.params
+    # repro: allow(shard-master-state): read-only feature flag captured at
+    # fork — whether the hop plane exists never changes mid-run
     plane_on = engine.network.plane is not None
     # Per-shard compute timing reuses the profiler's injectable clock (no
     # direct wall-clock reads here); an unprofiled run measures nothing.
@@ -262,13 +342,13 @@ def _worker_main(
     while True:
         cmd, payload = pickle.loads(conn.recv_bytes())
         if cmd == "stop":
-            conn.send_bytes(_dumps(("bye", None)))
+            _worker_send(conn, ("bye", None))
             shmseg.close_segment(down_shm)
             shmseg.close_segment(up_shm)
             return
         if cmd == "gather":
-            conn.send_bytes(
-                _dumps(("state", {v: _export_state(protocols[v]) for v in ordered}))
+            _worker_send(
+                conn, ("state", {v: _export_state(protocols[v]) for v in ordered})
             )
             continue
         # cmd == "round"
@@ -337,6 +417,8 @@ def _worker_main(
             proto = protocols[v]
             proto.on_round(ctx)
             log.mark(v)
+        if _SANITIZE:
+            _assert_band_owned(engine, band, ordered)
         for v in ordered:
             protocols[v].publish_state(store, store.slot_of(v))
         secs = (clock() - t0) if clock is not None else 0.0
@@ -348,17 +430,16 @@ def _worker_main(
             desc = exchange.encode_uplink(
                 up_arena, up_enc, log.items, log.marks, log.plane_pack()
             )
-            conn.send_bytes(_dumps(("sends", (desc, secs))))
+            _worker_send(conn, ("sends", (desc, secs)))
         except ArenaFull as exc:
             # This round travels the pipe; the master regrows the uplink
             # slab before the next control message.
-            conn.send_bytes(
-                _dumps(
-                    (
-                        "sends_pipe",
-                        (log.items, log.marks, log.plane_pack(), secs, exc.needed),
-                    )
-                )
+            _worker_send(
+                conn,
+                (
+                    "sends_pipe",
+                    (log.items, log.marks, log.plane_pack(), secs, exc.needed),
+                ),
             )
 
 
@@ -434,6 +515,8 @@ class ShardRunner:
     # ------------------------------------------------------------------
 
     def _send_obj(self, conn, obj: object) -> None:
+        if _SANITIZE:
+            _assert_codec_safe(obj)
         blob = _dumps(obj)
         self.stats.bytes_pipe += len(blob)
         conn.send_bytes(blob)

@@ -1,0 +1,9 @@
+"""Bad: worker code allocates NodeStore slots and writes columns directly."""
+
+
+def _worker_loop(engine, band, conn, store):
+    for v, _jr, _slot in engine.joins:
+        slot = store.ensure(v)  # S1: only the master allocates slots
+        store.phase[slot] = 2  # S1: direct column write bypasses the API
+    for v in engine.leaves:
+        store.retire(v)  # S1: only the master retires slots

@@ -1,0 +1,8 @@
+"""OK: the worker adopts master-allocated slots and publishes via the API."""
+
+
+def _worker_loop(engine, band, conn, store):
+    for v, _jr, slot in engine.joins:
+        store.adopt(v, slot)  # slot came from the master's allocator
+    for v in sorted(engine.owned):
+        engine.protocols[v].publish_state(store, store.slot_of(v))

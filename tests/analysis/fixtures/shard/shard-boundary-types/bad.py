@@ -1,0 +1,9 @@
+"""Bad: a closure and a raw shared-buffer view cross the pipe boundary."""
+
+import pickle
+
+
+def reply(conn, up_shm, items):
+    finisher = lambda batch: sorted(batch)  # noqa: E731
+    conn.send_bytes(pickle.dumps(finisher))  # S2: lambda over the pipe
+    conn.send_bytes(up_shm.buf)  # S2: raw buffer view over the pipe

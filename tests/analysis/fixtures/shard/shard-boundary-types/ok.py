@@ -1,0 +1,8 @@
+"""OK: only plain data (tuples of primitives) crosses the pipe boundary."""
+
+import pickle
+
+
+def reply(conn, items, marks, secs):
+    payload = ("sends", (tuple(items), tuple(marks), secs))
+    conn.send_bytes(pickle.dumps(payload))

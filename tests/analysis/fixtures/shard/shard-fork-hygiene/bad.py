@@ -1,0 +1,13 @@
+"""Bad: worker code mutates module globals and draws OS entropy."""
+
+import numpy as np
+
+_SEEN = {}
+_ROUND = 0
+
+
+def _worker_main(engine, band, conn):
+    global _ROUND  # S5: each fork rebinds a private copy
+    _ROUND += 1
+    rng = np.random.default_rng()  # S5: unseeded — fresh entropy per fork
+    _SEEN[band] = rng.random()  # S5: module-global write diverges per fork

@@ -1,0 +1,9 @@
+"""OK: worker state lives in locals; randomness comes from forked streams."""
+
+
+def _worker_main(engine, band, conn):
+    seen = {}
+    for v in sorted(engine.owned):
+        rng = engine.rngs[v]  # per-node stream forked with the snapshot
+        seen[v] = rng.random()
+    return seen

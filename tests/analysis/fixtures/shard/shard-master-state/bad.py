@@ -1,0 +1,8 @@
+"""Bad: worker code reads and advances master-only engine state."""
+
+
+def _worker_main(engine, band, conn):
+    decision = engine.adversary.decide(band)  # S3: adversary is master-only
+    engine.trace.record(decision)  # S3: tracing is master-only
+    if engine.network.plane_rows(band):  # S3: the live network is master-only
+        conn.send_bytes(b"busy")

@@ -1,0 +1,8 @@
+"""OK: the worker sees only fork-time snapshots and control payloads."""
+
+
+def _worker_main(engine, band, conn):
+    params = engine.params
+    for v in sorted(engine.owned):
+        proto = engine.protocols[v]
+        proto.on_round(v, params)

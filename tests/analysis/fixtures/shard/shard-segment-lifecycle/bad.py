@@ -1,0 +1,18 @@
+"""Bad: segments acquired but never destroyed (local and class-owned)."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def scratch_round(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # S4: never destroyed
+    shm.buf[0:2] = b"ok"
+
+
+class Slab:
+    """Owns a segment but offers no close/destroy path at all."""
+
+    def __init__(self, nbytes):
+        self.shm = SharedMemory(create=True, size=nbytes)  # S4: leaked
+
+    def store(self):
+        return self.shm.size

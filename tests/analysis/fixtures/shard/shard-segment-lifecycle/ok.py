@@ -1,0 +1,25 @@
+"""OK: every acquisition reaches close/unlink on the non-exceptional path."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def scratch_round(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)
+    try:
+        shm.buf[0:2] = b"ok"
+        out = bytes(shm.buf[0:2])
+    finally:
+        shm.close()
+        shm.unlink()
+    return out
+
+
+class Slab:
+    """Owns a segment; close() releases it (the master calls it in a finally)."""
+
+    def __init__(self, nbytes):
+        self.shm = SharedMemory(create=True, size=nbytes)
+
+    def close(self):
+        self.shm.close()
+        self.shm.unlink()

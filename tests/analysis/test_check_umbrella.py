@@ -1,0 +1,84 @@
+"""The ``repro check`` umbrella: three engines, one parse, one call graph."""
+
+import json
+import textwrap
+
+from repro.analysis.flow import ProjectIndex, run_flow
+from repro.analysis.lint import run_lint
+from repro.analysis.sarif import validate_sarif
+from repro.analysis.shard import run_shard_check
+from repro.analysis.source_cache import SourceCache, collect_py_files
+
+
+def test_three_engines_share_one_parse_and_one_graph(tmp_path):
+    (tmp_path / "a.py").write_text(
+        textwrap.dedent(
+            """
+            def helper(x):
+                return x + 1
+
+            def _worker_main(engine):
+                return helper(engine.params)
+            """
+        )
+    )
+    (tmp_path / "b.py").write_text("VALUE = 3\n")
+    cache = SourceCache(tmp_path)
+    files = collect_py_files([tmp_path])
+    index = ProjectIndex([m for m in map(cache.try_module, files) if m])
+    parses = cache.parses
+    assert parses == len(files)
+
+    lint = run_lint([tmp_path], root=tmp_path, baseline=None, cache=cache)
+    flow = run_flow(
+        [tmp_path], root=tmp_path, baseline=None, cache=cache, index=index
+    )
+    shard = run_shard_check(
+        [tmp_path], root=tmp_path, baseline=None, cache=cache, index=index
+    )
+    # No engine re-parsed anything the shared cache already held.
+    assert cache.parses == parses
+    assert lint.ok and flow.ok and shard.ok
+    assert shard.roles.worker_only("a._worker_main")
+
+
+def test_cli_check_emits_one_merged_sarif_document(capsys):
+    from repro.cli import main
+
+    code = main(["check", "--format", "sarif"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    validate_sarif(doc)
+    names = [run["tool"]["driver"]["name"] for run in doc["runs"]]
+    assert names == ["repro-lint", "repro-flow", "repro-shard"]
+
+
+def test_cli_check_json_combines_all_three_reports(capsys):
+    from repro.cli import main
+
+    code = main(["check", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    for key in ("lint", "flow", "shard"):
+        assert payload[key]["counts"]["active"] == 0
+    assert payload["shard"]["roles"]["worker"] >= 5
+
+
+def test_cli_check_fails_on_injected_defect(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "w.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            def _worker_main(engine, band, conn):
+                engine.trace.record(band)
+            """
+        )
+    )
+    code = main(["check", "--paths", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "== shard-check ==" in out
+    assert "shard-master-state" in out

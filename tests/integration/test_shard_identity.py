@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sim import exchange
+from repro.sim import exchange, shard
 from repro.util import arena
 
 from .simfp import SCENARIOS, round_snapshot, run_scenario, sim_fingerprint
@@ -37,8 +37,14 @@ from .simfp import SCENARIOS, round_snapshot, run_scenario, sim_fingerprint
         ("churn_faults", 4),
     ],
 )
-def test_sharded_run_matches_reference(scenario: str, workers: int) -> None:
+def test_sharded_run_matches_reference(
+    scenario: str, workers: int, monkeypatch
+) -> None:
     reference = run_scenario(scenario)
+    # Arm the runtime shard sanitizer (band-ownership + pipe-codec asserts)
+    # for the sharded leg: workers inherit the flag through fork, so the
+    # identity suite doubles as the sanitizer's false-positive gate.
+    monkeypatch.setattr(shard, "_SANITIZE", True)
     sharded = run_scenario(scenario, workers=workers)
     assert sharded == reference
 
