@@ -1,0 +1,302 @@
+"""Machinery shared by all four analysis engines.
+
+``repro lint``, ``repro flow``, ``repro shard-check`` and
+``repro proto-check`` are siblings on purpose: one
+:class:`~repro.analysis.lint.findings.Finding` value object, one
+``(path, rule, message)``-multiset baseline format, one
+``# repro: allow(<rule>): why`` waiver syntax, and one SARIF emitter.
+Historically each engine carried its own copy of the surrounding
+boilerplate — target collection, parse-error findings, prefix-waiver
+matching with the staleness audit, baseline application, and an
+argparse block in :mod:`repro.cli`.  This module is the single home for
+all of it:
+
+* :func:`resolve_targets` / :func:`parse_modules` — the shared
+  parse phase (through one :class:`SourceCache`, so the umbrella
+  ``repro check`` parses every file exactly once for all engines);
+* :func:`match_prefix_waivers` — waiver matching + staleness audit for
+  the prefix-owned engines (``flow-*`` / ``shard-*`` / ``protocol-*``);
+* :func:`apply_baseline` — load/partition against a baseline file;
+* :func:`add_engine_arguments` / :func:`run_engine_command` — one
+  argparse builder and one command driver, so
+  ``--baseline/--no-baseline/--update-baseline/--rules/--paths/--format``
+  behave identically across all four subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.lint.baseline import Baseline, write_baseline
+from repro.analysis.lint.engine import LintError, SourceModule
+from repro.analysis.lint.findings import Finding
+from repro.analysis.source_cache import SourceCache, collect_py_files
+
+__all__ = [
+    "add_engine_arguments",
+    "apply_baseline",
+    "match_prefix_waivers",
+    "parse_modules",
+    "resolve_targets",
+    "run_engine_command",
+]
+
+
+# ----------------------------------------------------------------------
+# Engine-side helpers (the parse / waiver / baseline phases)
+# ----------------------------------------------------------------------
+
+
+def resolve_targets(
+    paths: Iterable[Path | str] | None,
+    root: Path | str | None,
+) -> tuple[Path, list[Path]]:
+    """Normalise the ``(paths, root)`` arguments every engine accepts.
+
+    Returns the resolved root and the file list; raises
+    :class:`LintError` for missing paths (all engines report that the
+    same way).
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    root = root.resolve()
+    targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
+    try:
+        files = collect_py_files(targets)
+    except FileNotFoundError as exc:
+        raise LintError(str(exc)) from None
+    return root, files
+
+
+def parse_modules(
+    files: Sequence[Path],
+    cache: SourceCache,
+    root: Path,
+) -> tuple[list[SourceModule], list[Finding]]:
+    """Parse every file through the shared cache.
+
+    Syntax errors become ``parse-error`` findings instead of aborting, so
+    a broken file fails the gate with a pointable location.
+    """
+    modules: list[SourceModule] = []
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            modules.append(cache.module(path))
+        except SyntaxError as exc:
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=exc.lineno or 0,
+                    rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return modules, findings
+
+
+def match_prefix_waivers(
+    modules: Iterable[SourceModule],
+    raw_by_module: dict[str, list[Finding]],
+    *,
+    prefix: str,
+    rule_ids: set[str],
+    audit_all: bool,
+    engine: str,
+    active: list[Finding],
+) -> list[Finding]:
+    """Match prefix-owned waivers and audit stale ones.
+
+    ``raw_by_module`` maps relpath -> raw findings for that module; the
+    matched ones are returned as the waived list, the rest (plus stale-
+    waiver findings) are appended to ``active``.  ``audit_all`` is True
+    when the full rule set ran, in which case *any* unused waiver of the
+    prefix is provably stale; otherwise only waivers for rules in
+    ``rule_ids`` are audited (a deselected rule cannot prove its waivers
+    stale).  The linter's W2 skips these prefixes — only the owning
+    engine knows which of its findings exist.
+    """
+    waived: list[Finding] = []
+    for mod in modules:
+        raw = sorted(raw_by_module.get(mod.relpath, []))
+        own = [w for w in mod.waivers if w.rule.startswith(prefix)]
+        for w in own:
+            w.used = False
+        live = [w for w in own if w.justified]
+        for f in raw:
+            matched = False
+            for w in live:
+                if w.rule == f.rule and w.target_line == f.line:
+                    w.used = True
+                    matched = True
+            (waived if matched else active).append(f)
+        for w in live:
+            if not w.used and (w.rule in rule_ids or audit_all):
+                active.append(
+                    Finding(
+                        path=mod.relpath,
+                        line=w.comment_line,
+                        rule="unused-waiver",
+                        message=(
+                            f"waiver for `{w.rule}` matches no {engine} finding "
+                            f"(target line {w.target_line})"
+                        ),
+                        fix_hint="delete the waiver comment "
+                        "(or move it next to the code it excuses)",
+                    )
+                )
+    return waived
+
+
+def apply_baseline(
+    active: list[Finding],
+    waived: list[Finding],
+    baseline: Path | str | Baseline | None,
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Sort both lists and partition ``active`` against the baseline."""
+    active.sort()
+    waived.sort()
+    if baseline is None:
+        base = Baseline([])
+    elif isinstance(baseline, Baseline):
+        base = baseline
+    else:
+        base = Baseline.load(baseline)
+    return base.partition(active)
+
+
+# ----------------------------------------------------------------------
+# CLI-side helpers (one argparse builder, one command driver)
+# ----------------------------------------------------------------------
+
+
+def add_engine_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    default_baseline_name: str,
+    rules_flags: Sequence[str] = ("--rules",),
+    rules_metavar: str = "R[,R...]",
+    rules_help: str = "only run these rules (by id or code)",
+    list_flags: Sequence[str] = ("--list-rules",),
+    list_help: str = "print the rule table and exit",
+) -> None:
+    """The flag set every analysis engine shares, with one spelling.
+
+    ``rules_flags``/``list_flags`` accept alias spellings (``repro flow``
+    keeps ``--policies``/``--list-policies`` alongside the shared
+    ``--rules``/``--list-rules``); all aliases land in the ``rules`` and
+    ``list_rules`` destinations.
+    """
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        *rules_flags,
+        dest="rules",
+        default=None,
+        metavar=rules_metavar,
+        help=rules_help,
+    )
+    parser.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: {default_baseline_name} at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        *list_flags,
+        dest="list_rules",
+        action="store_true",
+        help=list_help,
+    )
+
+
+def run_engine_command(
+    args: argparse.Namespace,
+    *,
+    name: str,
+    tool_name: str,
+    root: Path,
+    default_baseline_name: str,
+    resolve: Callable[[str | None], tuple],
+    table: Callable[[], str],
+    runner: Callable[..., object],
+    rule_meta: Callable[[tuple], dict],
+    errors: tuple[type[Exception], ...] = (LintError,),
+    pre: Callable[[tuple, list[Path] | None], None] | None = None,
+) -> int:
+    """One driver for lint / flow / shard-check / proto-check.
+
+    ``runner(paths, root=..., rules=..., baseline=...)`` runs the engine
+    and returns its report (any object with ``ok``, ``findings``,
+    ``to_dict()`` and ``format_text()``); ``resolve`` turns the ``--rules``
+    string into the rule tuple, ``rule_meta`` maps it to SARIF metadata,
+    and ``pre`` is an optional hook run after rule resolution (the
+    linter's ``--fix``).  Exit codes: 0 clean, 1 findings, 2 usage error —
+    identical across all four subcommands.
+    """
+    import json
+
+    if args.list_rules:
+        print(table())
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / default_baseline_name
+    )
+    try:
+        rules = resolve(args.rules)
+        if pre is not None:
+            pre(rules, paths)
+        if args.update_baseline:
+            report = runner(paths, root=root, rules=rules, baseline=None)
+            write_baseline(baseline_path, report.findings)
+            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
+            return 0
+        report = runner(
+            paths,
+            root=root,
+            rules=rules,
+            baseline=None if args.no_baseline else baseline_path,
+        )
+    except errors as exc:
+        print(f"{name}: {exc}")
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_report
+
+        doc = sarif_report(
+            report.findings,
+            tool_name=tool_name,
+            rule_meta=rule_meta(rules),
+            root=root,
+        )
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1

@@ -25,6 +25,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.analysis.common import (
+    apply_baseline,
+    match_prefix_waivers,
+    parse_modules,
+    resolve_targets,
+)
 from repro.analysis.flow.callgraph import ProjectIndex
 from repro.analysis.flow.policies import (
     ALL_POLICIES,
@@ -33,9 +39,10 @@ from repro.analysis.flow.policies import (
 )
 from repro.analysis.flow.summaries import FunctionAnalyzer, Summary
 from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.engine import LintError
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.waivers import FLOW_RULE_PREFIX
-from repro.analysis.source_cache import SourceCache, collect_py_files
+from repro.analysis.source_cache import SourceCache
 
 __all__ = [
     "DEFAULT_FLOW_BASELINE_NAME",
@@ -130,34 +137,13 @@ def run_flow(
     policies = tuple(policies) if policies is not None else ALL_POLICIES
     if max_depth < 1:
         raise FlowError("max_depth must be at least 1")
-    root = Path(root) if root is not None else Path.cwd()
-    root = root.resolve()
-    targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
     try:
-        files = collect_py_files(targets)
-    except FileNotFoundError as exc:
+        root, files = resolve_targets(paths, root)
+    except LintError as exc:
         raise FlowError(str(exc)) from None
     if cache is None:
         cache = SourceCache(root)
-
-    modules = []
-    active: list[Finding] = []
-    for path in files:
-        try:
-            modules.append(cache.module(path))
-        except SyntaxError as exc:
-            try:
-                rel = path.relative_to(root).as_posix()
-            except ValueError:
-                rel = path.as_posix()
-            active.append(
-                Finding(
-                    path=rel,
-                    line=exc.lineno or 0,
-                    rule="parse-error",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
+    modules, active = parse_modules(files, cache, root)
 
     if index is None:
         index = ProjectIndex(modules)
@@ -189,50 +175,18 @@ def run_flow(
         analyzer.run()
         raw_by_module[analyzer.relpath].extend(analyzer.findings)
 
-    policy_ids = {p.id for p in policies}
-    waived: list[Finding] = []
-    for mod in modules:
-        raw = raw_by_module[mod.relpath]
-        flow_waivers = [
-            w for w in mod.waivers if w.rule.startswith(FLOW_RULE_PREFIX)
-        ]
-        for w in flow_waivers:
-            w.used = False
-        live = [w for w in flow_waivers if w.justified]
-        for f in raw:
-            matched = False
-            for w in live:
-                if w.rule == f.rule and w.target_line == f.line:
-                    w.used = True
-                    matched = True
-            (waived if matched else active).append(f)
-        # Stale flow waivers are audited here (the linter's W2 skips them:
-        # only this engine knows which flow findings exist).
-        for w in live:
-            if not w.used and (w.rule in policy_ids or policies == ALL_POLICIES):
-                active.append(
-                    Finding(
-                        path=mod.relpath,
-                        line=w.comment_line,
-                        rule="unused-waiver",
-                        message=(
-                            f"waiver for `{w.rule}` matches no flow finding "
-                            f"(target line {w.target_line})"
-                        ),
-                        fix_hint="delete the waiver comment "
-                        "(or move it next to the code it excuses)",
-                    )
-                )
-
-    active.sort()
-    waived.sort()
-    if baseline is None:
-        base = Baseline([])
-    elif isinstance(baseline, Baseline):
-        base = baseline
-    else:
-        base = Baseline.load(baseline)
-    final, baselined, stale = base.partition(active)
+    # Stale flow waivers are audited by the shared helper (the linter's
+    # W2 skips them: only this engine knows which flow findings exist).
+    waived = match_prefix_waivers(
+        modules,
+        raw_by_module,
+        prefix=FLOW_RULE_PREFIX,
+        rule_ids={p.id for p in policies},
+        audit_all=policies == ALL_POLICIES,
+        engine="flow",
+        active=active,
+    )
+    final, baselined, stale = apply_baseline(active, waived, baseline)
     return FlowReport(
         root=root,
         files=len(files),

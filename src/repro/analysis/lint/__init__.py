@@ -39,6 +39,7 @@ from repro.analysis.lint.fix import fix_unused_waivers
 from repro.analysis.lint.registry import ALL_RULES, resolve_rules, rule_table
 from repro.analysis.lint.waivers import (
     FLOW_RULE_PREFIX,
+    PROTO_RULE_PREFIX,
     SHARD_RULE_PREFIX,
     Waiver,
     scan_directives,
@@ -54,6 +55,7 @@ __all__ = [
     "LintContext",
     "LintError",
     "LintReport",
+    "PROTO_RULE_PREFIX",
     "Rule",
     "SEVERITIES",
     "SHARD_RULE_PREFIX",

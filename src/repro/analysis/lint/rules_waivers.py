@@ -10,7 +10,11 @@ from typing import Iterator
 
 from repro.analysis.lint.engine import LintContext, Rule, SourceModule
 from repro.analysis.lint.findings import Finding
-from repro.analysis.lint.waivers import FLOW_RULE_PREFIX, SHARD_RULE_PREFIX
+from repro.analysis.lint.waivers import (
+    FLOW_RULE_PREFIX,
+    PROTO_RULE_PREFIX,
+    SHARD_RULE_PREFIX,
+)
 
 __all__ = ["WaiverJustificationRule", "UnusedWaiverRule"]
 
@@ -50,10 +54,12 @@ class UnusedWaiverRule(Rule):
 
     def check(self, mod: SourceModule, ctx: LintContext) -> Iterator[Finding]:
         for waiver in mod.waivers:
-            if waiver.rule.startswith((FLOW_RULE_PREFIX, SHARD_RULE_PREFIX)):
-                # flow-* / shard-* waivers are matched (and staleness-
-                # checked) by `repro flow` / `repro shard-check`, which see
-                # findings this linter cannot.
+            if waiver.rule.startswith(
+                (FLOW_RULE_PREFIX, SHARD_RULE_PREFIX, PROTO_RULE_PREFIX)
+            ):
+                # flow-* / shard-* / proto-* waivers are matched (and
+                # staleness-checked) by `repro flow` / `repro shard-check` /
+                # `repro proto-check`, which see findings this linter cannot.
                 continue
             if waiver.justified and not waiver.used:
                 yield self.finding(

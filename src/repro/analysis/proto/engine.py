@@ -1,0 +1,203 @@
+"""The proto-check engine: parse, extract, check against the spec, report.
+
+``run_proto_check`` is the fourth sibling of
+:func:`repro.analysis.lint.run_lint`, :func:`repro.analysis.flow.run_flow`
+and :func:`repro.analysis.shard.run_shard_check`, and shares their
+machinery through :mod:`repro.analysis.common`: the same
+:class:`~repro.analysis.lint.engine.SourceModule` construction through a
+shared :class:`~repro.analysis.source_cache.SourceCache` (one parse
+serves all four tools), the same ``# repro: allow(<rule>): <why>``
+inline waivers (``protocol-*`` prefixed — the linter's W2 skips them and
+this engine audits their staleness), the same
+``(path, rule, message)``-multiset baseline format
+(``proto-baseline.json``), and the same
+:class:`~repro.analysis.lint.findings.Finding` value object that feeds
+the shared SARIF emitter.
+
+The run has three phases:
+
+1. parse every file and index the call graph (:class:`ProjectIndex`,
+   shared with flow and shard via the ``index`` argument);
+2. load the declarative spec (``protocol-spec.json`` at the root by
+   default) and extract the implemented protocol
+   (:class:`~repro.analysis.proto.extract.ProtocolModel`);
+3. one reporting pass running rules P1–P6, matching ``protocol-*``
+   waivers, auditing stale ones, and applying the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.common import (
+    apply_baseline,
+    match_prefix_waivers,
+    parse_modules,
+    resolve_targets,
+)
+from repro.analysis.flow.callgraph import ProjectIndex
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.waivers import PROTO_RULE_PREFIX
+from repro.analysis.proto.extract import ProtocolModel
+from repro.analysis.proto.rules import (
+    ALL_PROTO_RULES,
+    ProtoContext,
+    ProtoRule,
+)
+from repro.analysis.proto.spec import (
+    DEFAULT_SPEC_NAME,
+    ProtocolSpec,
+    load_spec,
+)
+from repro.analysis.source_cache import SourceCache
+
+__all__ = [
+    "DEFAULT_PROTO_BASELINE_NAME",
+    "ProtoReport",
+    "run_proto_check",
+]
+
+#: File name looked up at the repository root by default.
+DEFAULT_PROTO_BASELINE_NAME = "proto-baseline.json"
+
+
+@dataclass
+class ProtoReport:
+    """Everything one proto-check run produced."""
+
+    root: Path
+    files: int
+    functions: int
+    spec: ProtocolSpec
+    protocol: dict
+    rules: tuple
+    findings: list = field(default_factory=list)
+    waived: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "files": self.files,
+            "functions": self.functions,
+            "spec": {
+                "relpath": self.spec.relpath,
+                "messages": len(self.spec.messages),
+                "payloads": len(self.spec.payloads),
+            },
+            "protocol": dict(self.protocol),
+            "rules": [r.id for r in self.rules],
+            "counts": {
+                "active": len(self.findings),
+                "waived": len(self.waived),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [f.to_dict() for f in self.waived],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": self.stale_baseline,
+        }
+
+    def format_text(self) -> str:
+        out: list[str] = []
+        for f in self.findings:
+            out.append(f.format())
+            if f.fix_hint:
+                out.append(f"    fix: {f.fix_hint}")
+        for entry in self.stale_baseline:
+            out.append(
+                f"stale baseline entry: {entry['path']} [{entry['rule']}] "
+                "no longer matches anything — remove it"
+            )
+        p = self.protocol
+        out.append(
+            f"{self.files} file(s), {self.functions} function(s), "
+            f"{p['messages']} message type(s) / {p['dispatch_entries']} "
+            f"dispatch entr(ies) / {p['constructions']} construction "
+            f"site(s): {len(self.findings)} finding(s), "
+            f"{len(self.waived)} waived, {len(self.baselined)} baselined"
+        )
+        return "\n".join(out)
+
+
+def run_proto_check(
+    paths: Iterable[Path | str] | None = None,
+    *,
+    root: Path | str | None = None,
+    rules: Iterable[ProtoRule] | None = None,
+    baseline: Path | str | Baseline | None = None,
+    cache: SourceCache | None = None,
+    index: ProjectIndex | None = None,
+    spec: Path | str | Mapping | ProtocolSpec | None = None,
+) -> ProtoReport:
+    """Run the protocol analyzer and return a :class:`ProtoReport`.
+
+    Arguments mirror :func:`~repro.analysis.lint.run_lint`; ``spec`` may
+    be a path, a pre-parsed mapping, or a :class:`ProtocolSpec`, and
+    defaults to ``protocol-spec.json`` at the root.  Pass the same
+    ``cache``/``index`` as the other engines to parse and index once
+    (the umbrella ``repro check`` command does).
+    """
+    rules = tuple(rules) if rules is not None else ALL_PROTO_RULES
+    root, files = resolve_targets(paths, root)
+    if spec is None:
+        spec = load_spec(root / DEFAULT_SPEC_NAME)
+    elif isinstance(spec, (Path, str)):
+        spec = load_spec(spec)
+    elif isinstance(spec, Mapping):
+        spec = ProtocolSpec.from_dict(spec)
+    if cache is None:
+        cache = SourceCache(root)
+
+    modules, active = parse_modules(files, cache, root)
+    if index is None:
+        index = ProjectIndex(modules)
+    model = ProtocolModel(modules, index, spec)
+    ctx = ProtoContext(model=model, spec=spec)
+
+    raw_by_module: dict[str, list[Finding]] = {mod.relpath: [] for mod in modules}
+    spec_level: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(ctx):
+            if f.path in raw_by_module:
+                raw_by_module[f.path].append(f)
+            elif f.path == spec.relpath:
+                # Spec-side findings (missing implementations) have no
+                # module to carry waivers; they are always active.
+                spec_level.append(f)
+            else:
+                raw_by_module.setdefault(f.path, []).append(f)
+
+    waived = match_prefix_waivers(
+        modules,
+        raw_by_module,
+        prefix=PROTO_RULE_PREFIX,
+        rule_ids={r.id for r in rules},
+        audit_all=rules == ALL_PROTO_RULES,
+        engine="proto",
+        active=active,
+    )
+    active.extend(spec_level)
+    final, baselined, stale = apply_baseline(active, waived, baseline)
+    return ProtoReport(
+        root=root,
+        files=len(files),
+        functions=len(index.functions),
+        spec=spec,
+        protocol=model.summary(),
+        rules=rules,
+        findings=final,
+        waived=waived,
+        baselined=baselined,
+        stale_baseline=stale,
+    )

@@ -1,0 +1,705 @@
+"""Protocol contract rules P1–P6.
+
+Each rule compares one aspect of the extracted
+:class:`~repro.analysis.proto.extract.ProtocolModel` (the *implemented*
+protocol) against the committed
+:class:`~repro.analysis.proto.spec.ProtocolSpec` (the *paper's*
+contract).  Like the other engines' rules these are syntactic and
+deliberately over-approximate on the evidence side, but every finding
+names the spec clause (and its PAPER.md/DESIGN.md anchor) it violates —
+a proto finding is an argument, not a style nit.
+
+Findings reuse the linter's :class:`~repro.analysis.lint.findings.Finding`
+value object, the ``# repro: allow(protocol-…): why`` waiver syntax, and
+the shared baseline format.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.engine import SourceModule
+from repro.analysis.lint.findings import Finding
+from repro.analysis.proto.extract import ProtocolModel, StepWrite
+from repro.analysis.proto.spec import PHASES, ProtocolSpec, norm_expr
+
+__all__ = [
+    "ALL_PROTO_RULES",
+    "ProtoContext",
+    "ProtoRule",
+    "UnhandledMessageRule",
+    "PhaseViolationRule",
+    "FieldDriftRule",
+    "StepBoundRule",
+    "EpochMonotoneRule",
+    "SpecCoverageRule",
+    "resolve_proto_rules",
+    "proto_rule_table",
+]
+
+
+@dataclass
+class ProtoContext:
+    """Everything a proto rule can see: the model and the spec."""
+
+    model: ProtocolModel
+    spec: ProtocolSpec
+
+
+class ProtoRule(abc.ABC):
+    """One protocol contract check; mirrors the lint ``Rule`` surface."""
+
+    id: str = ""
+    code: str = ""
+    description: str = ""
+    fix_hint: str = ""
+    severity: str = "error"
+
+    @abc.abstractmethod
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+    def finding(
+        self,
+        mod: SourceModule | str,
+        where: ast.AST | int,
+        message: str,
+        fix_hint: str | None = None,
+    ) -> Finding:
+        line = where if isinstance(where, int) else getattr(where, "lineno", 0)
+        path = mod if isinstance(mod, str) else mod.relpath
+        return Finding(
+            path=path,
+            line=line,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _fmt_phases(phases: Iterable[str]) -> str:
+    ordered = [p for p in PHASES if p in set(phases)]
+    if tuple(ordered) == PHASES:
+        return "any"
+    return "{" + ", ".join(ordered) + "}" if ordered else "{}"
+
+
+def _deref(
+    expr: ast.expr, bindings: dict[str, ast.expr], depth: int = 3
+) -> ast.expr:
+    """Follow simple ``name = expr`` bindings a few hops."""
+    while (
+        depth > 0
+        and isinstance(expr, ast.Name)
+        and expr.id in bindings
+        and bindings[expr.id] is not expr
+    ):
+        expr = bindings[expr.id]
+        depth -= 1
+    return expr
+
+
+def _loop_target_names(func: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            for n in ast.walk(node.target):
+                if isinstance(n, ast.Name):
+                    names.add(n.id)
+        elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+            for comp in node.generators:
+                for n in ast.walk(comp.target):
+                    if isinstance(n, ast.Name):
+                        names.add(n.id)
+    return names
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    a = func.args
+    names = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    return names
+
+
+def _has_bound_compare(scope: ast.AST | None, bound: str) -> bool:
+    """Any comparison in ``scope`` mentioning the spec'd bound name."""
+    if scope is None:
+        return False
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Compare) and bound in ast.unparse(node):
+            return True
+    return False
+
+
+def _mentions_self(expr: ast.expr) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == "self" for n in ast.walk(expr)
+    )
+
+
+# ----------------------------------------------------------------------
+# P1 — every constructed message is dispatched (and vice versa)
+# ----------------------------------------------------------------------
+
+
+class UnhandledMessageRule(ProtoRule):
+    """P1 — constructed messages must be dispatched; dispatch must be live."""
+
+    id = "protocol-unhandled-message"
+    code = "P1"
+    description = (
+        "a dispatched-kind message that is constructed but appears in no node "
+        "dispatch table silently drops on delivery; a dispatch entry (or "
+        "payload-tag test) matching no construction site is dead protocol"
+    )
+    fix_hint = (
+        "add the message to the on_round dispatch dict (or an on_* handler), "
+        "or delete the dead entry"
+    )
+
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        handled = {d.message for d in ctx.model.dispatch}
+        constructed = {c.message for c in ctx.model.constructions}
+        reported: set[tuple[str, str, int]] = set()
+        for site in ctx.model.constructions:
+            entry = ctx.spec.message(site.message)
+            if entry is not None and not entry.dispatched:
+                continue  # records ride inside other messages
+            if site.message in handled:
+                continue
+            key = (site.module.relpath, site.message, site.lineno)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield self.finding(
+                site.module,
+                site.lineno,
+                f"`{site.message}` is constructed here but no node "
+                "dispatches it (no dispatch-dict entry or on_* handler)",
+            )
+        for entry in ctx.model.dispatch:
+            if entry.message not in constructed:
+                yield self.finding(
+                    entry.module,
+                    entry.lineno,
+                    f"dispatch entry for `{entry.message}` is dead: "
+                    "nothing constructs that message",
+                )
+        # Routed payload tags: emitted tags must be tested somewhere.
+        tested = {t.tag for t in ctx.model.payload_checks}
+        emitted = {p.tag for p in ctx.model.payload_sites}
+        seen_tags: set[tuple[str, str, int]] = set()
+        for site in ctx.model.payload_sites:
+            if site.tag in tested:
+                continue
+            key = (site.module.relpath, site.tag, site.lineno)
+            if key in seen_tags:
+                continue
+            seen_tags.add(key)
+            yield self.finding(
+                site.module,
+                site.lineno,
+                f'routed payload tag "{site.tag}" is emitted here but '
+                "never tested at any delivery site",
+            )
+        for check in ctx.model.payload_checks:
+            if check.tag not in emitted:
+                yield self.finding(
+                    check.module,
+                    check.lineno,
+                    f'payload tag "{check.tag}" is tested here but '
+                    "nothing emits it",
+                )
+
+
+# ----------------------------------------------------------------------
+# P2 — phase discipline at producer and consumer sites
+# ----------------------------------------------------------------------
+
+
+class PhaseViolationRule(ProtoRule):
+    """P2 — sends/handles happen only in the spec'd lifecycle phases."""
+
+    id = "protocol-phase-violation"
+    code = "P2"
+    description = (
+        "a message constructed (or a routed payload emitted) in a phase "
+        "context outside the spec's producer phases, or handed to a handler "
+        "outside its consumer phases — e.g. a FRESH node emitting "
+        "ESTABLISHED-only maintenance traffic"
+    )
+    fix_hint = (
+        "guard the site with the spec'd `self.phase` check, or correct the "
+        "spec with a DESIGN.md citation"
+    )
+
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        for site in ctx.model.constructions:
+            entry = ctx.spec.message(site.message)
+            if entry is None or site.phases is None or not site.phases:
+                continue
+            allowed = frozenset(entry.producer_phases)
+            extra = site.phases - allowed
+            if extra:
+                yield self.finding(
+                    site.module,
+                    site.lineno,
+                    f"`{site.message}` constructed in phase context "
+                    f"{_fmt_phases(site.phases)} but the spec allows "
+                    f"producers only in {_fmt_phases(allowed)} "
+                    f"[{entry.anchor}]",
+                )
+        for site in ctx.model.payload_sites:
+            entry = ctx.spec.payload(site.tag)
+            if entry is None or site.phases is None or not site.phases:
+                continue
+            allowed = frozenset(entry.producer_phases)
+            if site.phases - allowed:
+                yield self.finding(
+                    site.module,
+                    site.lineno,
+                    f'routed payload "{site.tag}" emitted in phase context '
+                    f"{_fmt_phases(site.phases)} but the spec allows "
+                    f"{_fmt_phases(allowed)} [{entry.anchor}]",
+                )
+        for consumer in ctx.model.consumers:
+            entry = ctx.spec.message(consumer.message)
+            if entry is None or not consumer.phases:
+                continue
+            allowed = frozenset(entry.consumer_phases)
+            if consumer.phases - allowed:
+                yield self.finding(
+                    consumer.module,
+                    consumer.lineno,
+                    f"`{consumer.message}` handed to {consumer.handler} in "
+                    f"phase context {_fmt_phases(consumer.phases)} but the "
+                    f"spec allows consumers only in {_fmt_phases(allowed)} "
+                    f"[{entry.anchor}]",
+                )
+
+
+# ----------------------------------------------------------------------
+# P3 — field agreement: spec <-> dataclass <-> constructor calls <-> codec
+# ----------------------------------------------------------------------
+
+
+class FieldDriftRule(ProtoRule):
+    """P3 — spec fields, dataclass fields and constructor calls agree."""
+
+    id = "protocol-field-drift"
+    code = "P3"
+    description = (
+        "the spec's field list, the dataclass definition, and every "
+        "constructor call must agree (names, order, required fields); the "
+        "exchange codec's pack/unpack arity must match the spec wire tuple"
+    )
+    fix_hint = "update the spec and the dataclass together, citing DESIGN.md"
+
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        for name in sorted(ctx.model.registry):
+            impl = ctx.model.registry[name]
+            entry = ctx.spec.message(name)
+            if entry is None:
+                continue  # P6's business
+            impl_fields = tuple(f.name for f in impl.fields)
+            if impl_fields != tuple(entry.fields):
+                yield self.finding(
+                    impl.module,
+                    impl.lineno,
+                    f"`{name}` fields ({', '.join(impl_fields) or 'none'}) "
+                    f"drift from the spec ({', '.join(entry.fields) or 'none'}) "
+                    f"[{entry.anchor}]",
+                )
+        for site in ctx.model.constructions:
+            impl = ctx.model.registry.get(site.message)
+            if impl is None:
+                continue
+            yield from self._check_call(site, impl)
+        yield from self._check_codec(ctx)
+
+    def _check_call(self, site, impl) -> Iterator[Finding]:
+        fields = impl.fields
+        names = [f.name for f in fields]
+        call = site.call
+        if any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        ):
+            return  # *args/**kwargs: not statically checkable
+        if len(call.args) > len(fields):
+            yield self.finding(
+                site.module,
+                site.lineno,
+                f"`{site.message}` constructed with {len(call.args)} "
+                f"positional args but it has {len(fields)} fields",
+            )
+            return
+        provided = set(names[: len(call.args)])
+        for kw in call.keywords:
+            if kw.arg not in names:
+                yield self.finding(
+                    site.module,
+                    site.lineno,
+                    f"`{site.message}` constructed with unknown field "
+                    f"`{kw.arg}` (fields: {', '.join(names)})",
+                )
+            else:
+                provided.add(kw.arg)
+        for f in fields:
+            if not f.has_default and f.name not in provided:
+                yield self.finding(
+                    site.module,
+                    site.lineno,
+                    f"`{site.message}` constructed without required field "
+                    f"`{f.name}`",
+                )
+
+    def _check_codec(self, ctx: ProtoContext) -> Iterator[Finding]:
+        info = ctx.model.codec
+        hops = ctx.spec.hops
+        if info is None or hops is None or info.source_module is None:
+            return
+        width = len(hops.wire_tuple)
+        mod = info.source_module
+        codec = ctx.spec.codec
+        assert codec is not None
+        if not info.encoder_found:
+            yield self.finding(
+                mod,
+                1,
+                f"spec codec names `{codec.encoder}` but "
+                f"{codec.module} defines no such function",
+            )
+        if not info.decoder_found:
+            yield self.finding(
+                mod,
+                1,
+                f"spec codec names `{codec.decoder}` but "
+                f"{codec.module} defines no such function",
+            )
+        for arity, lineno in info.encoder_arities:
+            if arity != width:
+                yield self.finding(
+                    mod,
+                    lineno,
+                    f"`{codec.encoder}` packs a {arity}-tuple but the spec "
+                    f"wire tuple has {width} columns "
+                    f"({', '.join(hops.wire_tuple)}) [{hops.anchor}]",
+                )
+        if info.decoder_found and info.decoder_params - 1 != width:
+            yield self.finding(
+                mod,
+                info.decoder_lineno,
+                f"`{codec.decoder}` unpacks {info.decoder_params - 1} wire "
+                f"columns but the spec wire tuple has {width} "
+                f"({', '.join(hops.wire_tuple)}) [{hops.anchor}]",
+            )
+
+
+# ----------------------------------------------------------------------
+# P4 — hop step / TTL bound discipline
+# ----------------------------------------------------------------------
+
+
+class StepBoundRule(ProtoRule):
+    """P4 — hop steps and TTL stamps come only from bounded expressions."""
+
+    id = "protocol-step-bound"
+    code = "P4"
+    description = (
+        "a hop step must be the spec'd initial value, a passthrough of an "
+        "existing step, or an increment dominated by a bound check against "
+        "the trajectory's final step; TTL expiries must use spec'd sources"
+    )
+    fix_hint = (
+        "compare against `final_step` before advancing the step, or stamp "
+        "TTLs from a spec'd expiry expression"
+    )
+
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        hops = ctx.spec.hops
+        if hops is not None:
+            for sw in ctx.model.step_writes:
+                message = self._classify(sw, hops.step_init, hops.bound)
+                if message is not None:
+                    yield self.finding(sw.module, sw.lineno, message)
+        ttl = ctx.spec.ttl
+        if ttl is not None:
+            for tw in ctx.model.ttl_writes:
+                expr = _deref(tw.expr, tw.bindings)
+                text = norm_expr(expr)
+                if text in ttl.sources or norm_expr(tw.expr) in ttl.sources:
+                    continue
+                yield self.finding(
+                    tw.module,
+                    tw.lineno,
+                    f"TTL expiry for `{tw.attr}` stamped from `{text}`, "
+                    f"which is not a spec'd source "
+                    f"({', '.join(ttl.sources)}) [{ttl.anchor}]",
+                )
+
+    def _classify(
+        self, sw: StepWrite, step_init: int, bound: str
+    ) -> str | None:
+        expr = sw.expr
+        if isinstance(expr, ast.Constant):
+            if expr.value == step_init:
+                return None
+            return (
+                f"hop step initialised to {expr.value!r} but the spec "
+                f"says step_init={step_init}"
+            )
+        d = _deref(expr, sw.bindings)
+        if isinstance(d, ast.Name):
+            if sw.func is not None and (
+                d.id in _param_names(sw.func)
+                or d.id in _loop_target_names(sw.func)
+            ):
+                return None  # passthrough of an existing step value
+            return (
+                f"hop step written from unbound name `{d.id}` "
+                "(not a parameter, loop variable, or tracked binding)"
+            )
+        if isinstance(d, (ast.Subscript, ast.Attribute)):
+            return None  # passthrough from a step column / message field
+        if isinstance(d, ast.BinOp) and isinstance(d.op, ast.Add):
+            scope: ast.AST | None = sw.func
+            if _mentions_self(d):
+                scope = sw.cls if sw.cls is not None else sw.func
+            if _has_bound_compare(scope, bound):
+                return None
+            return (
+                f"hop step advanced (`{norm_expr(d)}`) without a dominating "
+                f"`{bound}` bound check in scope"
+            )
+        if isinstance(d, ast.Constant):
+            if d.value == step_init:
+                return None
+            return (
+                f"hop step initialised to {d.value!r} but the spec "
+                f"says step_init={step_init}"
+            )
+        return (
+            f"hop step written from unrecognised expression "
+            f"`{norm_expr(d)}` (spec allows init={step_init}, passthrough, "
+            f"or a `{bound}`-bounded increment)"
+        )
+
+
+# ----------------------------------------------------------------------
+# P5 — epoch monotonicity: who may write self.epoch, and from what
+# ----------------------------------------------------------------------
+
+
+class EpochMonotoneRule(ProtoRule):
+    """P5 — ``self.epoch`` (and message epoch fields) use spec'd sources."""
+
+    id = "protocol-epoch-monotone"
+    code = "P5"
+    description = (
+        "self.epoch may be written only by the spec'd writer functions from "
+        "their spec'd source expressions (None — demotion/reset — is always "
+        "legal); message epoch fields must be filled from spec'd sources"
+    )
+    fix_hint = (
+        "route the epoch through a spec'd writer/expression, or extend the "
+        "spec with a DESIGN.md citation"
+    )
+
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        epochs = ctx.spec.epochs
+        if epochs is not None:
+            for ew in ctx.model.epoch_writes:
+                expr = _deref(ew.expr, ew.bindings)
+                if isinstance(expr, ast.Constant) and expr.value is None:
+                    continue
+                allowed = epochs.allowed(ew.qname)
+                if allowed is None:
+                    yield self.finding(
+                        ew.module,
+                        ew.lineno,
+                        f"`{ew.qname}` writes self.epoch but is not a "
+                        f"spec'd epoch writer [{epochs.anchor}]",
+                    )
+                    continue
+                text = norm_expr(expr)
+                raw = norm_expr(ew.expr)
+                if text not in allowed and raw not in allowed:
+                    yield self.finding(
+                        ew.module,
+                        ew.lineno,
+                        f"self.epoch written from `{raw}` but the spec "
+                        f"allows only ({', '.join(allowed)}) here "
+                        f"[{epochs.anchor}]",
+                    )
+        for site in ctx.model.constructions:
+            entry = ctx.spec.message(site.message)
+            impl = ctx.model.registry.get(site.message)
+            if entry is None or impl is None or not entry.epoch_field_sources:
+                continue
+            arg = self._epoch_arg(site.call, [f.name for f in impl.fields])
+            if arg is None:
+                continue
+            expr = _deref(arg, site.bindings)
+            text = norm_expr(expr)
+            raw = norm_expr(arg)
+            if (
+                isinstance(expr, ast.Constant) and expr.value is None
+            ) or text in entry.epoch_field_sources or raw in entry.epoch_field_sources:
+                continue
+            yield self.finding(
+                site.module,
+                site.lineno,
+                f"field `epoch` of `{site.message}` filled from `{text}` "
+                f"but the spec allows "
+                f"({', '.join(entry.epoch_field_sources)}) [{entry.anchor}]",
+            )
+
+    @staticmethod
+    def _epoch_arg(call: ast.Call, names: list[str]) -> ast.expr | None:
+        if "epoch" not in names:
+            return None
+        for kw in call.keywords:
+            if kw.arg == "epoch":
+                return kw.value
+        idx = names.index("epoch")
+        if idx < len(call.args):
+            return call.args[idx]
+        return None
+
+
+# ----------------------------------------------------------------------
+# P6 — spec <-> implementation coverage
+# ----------------------------------------------------------------------
+
+
+class SpecCoverageRule(ProtoRule):
+    """P6 — the spec and the implementation cover each other exactly."""
+
+    id = "protocol-spec-coverage"
+    code = "P6"
+    description = (
+        "every spec message must have a __protocol__-marked implementation, "
+        "every marked class (and every dataclass in a spec'd message "
+        "module) must be covered by the spec, and routed payload tags must "
+        "match the spec's payload table"
+    )
+    fix_hint = (
+        "add the missing spec entry with its PAPER.md/DESIGN.md anchor, or "
+        "mark/remove the unregistered class"
+    )
+
+    def check(self, ctx: ProtoContext) -> Iterator[Finding]:
+        spec = ctx.spec
+        model = ctx.model
+        for entry in spec.messages:
+            if entry.name not in model.registry:
+                yield self.finding(
+                    spec.relpath,
+                    0,
+                    f"spec covers `{entry.name}` but no __protocol__-marked "
+                    f"class implements it [{entry.anchor}]",
+                )
+        for name in sorted(model.registry):
+            if spec.message(name) is None:
+                impl = model.registry[name]
+                yield self.finding(
+                    impl.module,
+                    impl.lineno,
+                    f"message class `{name}` is not covered by the protocol "
+                    "spec (add an entry with its paper anchor)",
+                )
+        by_module = {m.module: m for m in model.modules}
+        for dotted in spec.message_modules:
+            mod = by_module.get(dotted)
+            if mod is None:
+                continue  # path-restricted run; the full gate sees it
+            for name, lineno in model.dataclasses_by_module.get(dotted, []):
+                if name not in model.registry:
+                    yield self.finding(
+                        mod,
+                        lineno,
+                        f"dataclass `{name}` in message module {dotted} "
+                        "lacks the __protocol__ marker (every message-module "
+                        "dataclass must be registered and spec-covered)",
+                    )
+        emitted = {}
+        for site in model.payload_sites:
+            emitted.setdefault(site.tag, site)
+        for tag in sorted(emitted):
+            if spec.payload(tag) is None:
+                site = emitted[tag]
+                yield self.finding(
+                    site.module,
+                    site.lineno,
+                    f'routed payload tag "{tag}" is not covered by the '
+                    "spec's payload table",
+                )
+        for payload in spec.payloads:
+            if payload.tag not in emitted:
+                yield self.finding(
+                    spec.relpath,
+                    0,
+                    f'spec covers payload "{payload.tag}" but nothing emits '
+                    f"it [{payload.anchor}]",
+                )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+ALL_PROTO_RULES: tuple[ProtoRule, ...] = (
+    UnhandledMessageRule(),
+    PhaseViolationRule(),
+    FieldDriftRule(),
+    StepBoundRule(),
+    EpochMonotoneRule(),
+    SpecCoverageRule(),
+)
+
+
+def resolve_proto_rules(spec: str | Iterable[str] | None) -> tuple[ProtoRule, ...]:
+    """Rules selected by a comma/space separated list of ids or codes."""
+    from repro.analysis.lint.engine import LintError
+
+    if spec is None:
+        return ALL_PROTO_RULES
+    if isinstance(spec, str):
+        wanted = [s for chunk in spec.split(",") for s in chunk.split()]
+    else:
+        wanted = list(spec)
+    wanted = [w.strip().lower() for w in wanted if w.strip()]
+    if not wanted:
+        return ALL_PROTO_RULES
+    by_key = {r.id: r for r in ALL_PROTO_RULES}
+    by_key.update({r.code.lower(): r for r in ALL_PROTO_RULES})
+    selected: list[ProtoRule] = []
+    for key in wanted:
+        rule = by_key.get(key)
+        if rule is None:
+            known = ", ".join(f"{r.code}/{r.id}" for r in ALL_PROTO_RULES)
+            raise LintError(f"unknown proto rule {key!r}; known rules: {known}")
+        if rule not in selected:
+            selected.append(rule)
+    return tuple(selected)
+
+
+def proto_rule_table() -> str:
+    """Plain-text rule table for ``repro proto-check --list-rules``."""
+    width = max(len(r.id) for r in ALL_PROTO_RULES)
+    lines = []
+    for rule in ALL_PROTO_RULES:
+        lines.append(f"{rule.code:>4}  {rule.id:<{width}}  {rule.description}")
+    return "\n".join(lines)

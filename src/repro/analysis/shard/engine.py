@@ -6,7 +6,7 @@
 purpose: the same :class:`~repro.analysis.lint.engine.SourceModule`
 construction through a shared
 :class:`~repro.analysis.source_cache.SourceCache` (one parse serves all
-three tools), the same ``# repro: allow(<rule>): <why>`` inline waivers
+four tools), the same ``# repro: allow(<rule>): <why>`` inline waivers
 (``shard-*`` prefixed — the linter's W2 skips them and this engine audits
 their staleness), the same ``(path, rule, message)``-multiset baseline
 format (``shard-baseline.json``), and the same
@@ -29,9 +29,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.analysis.common import (
+    apply_baseline,
+    match_prefix_waivers,
+    parse_modules,
+    resolve_targets,
+)
 from repro.analysis.flow.callgraph import ProjectIndex
 from repro.analysis.lint.baseline import Baseline
-from repro.analysis.lint.engine import LintError
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.waivers import SHARD_RULE_PREFIX
 from repro.analysis.shard.roles import RoleMap, infer_roles
@@ -40,7 +45,7 @@ from repro.analysis.shard.rules import (
     ShardContext,
     ShardRule,
 )
-from repro.analysis.source_cache import SourceCache, collect_py_files
+from repro.analysis.source_cache import SourceCache
 
 __all__ = [
     "DEFAULT_SHARD_BASELINE_NAME",
@@ -128,34 +133,10 @@ def run_shard_check(
     (the umbrella ``repro check`` command does both).
     """
     rules = tuple(rules) if rules is not None else ALL_SHARD_RULES
-    root = Path(root) if root is not None else Path.cwd()
-    root = root.resolve()
-    targets = [Path(p) for p in paths] if paths is not None else [root / "src" / "repro"]
-    try:
-        files = collect_py_files(targets)
-    except FileNotFoundError as exc:
-        raise LintError(str(exc)) from None
+    root, files = resolve_targets(paths, root)
     if cache is None:
         cache = SourceCache(root)
-
-    modules = []
-    active: list[Finding] = []
-    for path in files:
-        try:
-            modules.append(cache.module(path))
-        except SyntaxError as exc:
-            try:
-                rel = path.relative_to(root).as_posix()
-            except ValueError:
-                rel = path.as_posix()
-            active.append(
-                Finding(
-                    path=rel,
-                    line=exc.lineno or 0,
-                    rule="parse-error",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
+    modules, active = parse_modules(files, cache, root)
 
     if index is None:
         index = ProjectIndex(modules)
@@ -167,50 +148,18 @@ def run_shard_check(
         for f in rule.check(ctx):
             raw_by_module.setdefault(f.path, []).append(f)
 
-    rule_ids = {r.id for r in rules}
-    waived: list[Finding] = []
-    for mod in modules:
-        raw = sorted(raw_by_module.get(mod.relpath, []))
-        shard_waivers = [
-            w for w in mod.waivers if w.rule.startswith(SHARD_RULE_PREFIX)
-        ]
-        for w in shard_waivers:
-            w.used = False
-        live = [w for w in shard_waivers if w.justified]
-        for f in raw:
-            matched = False
-            for w in live:
-                if w.rule == f.rule and w.target_line == f.line:
-                    w.used = True
-                    matched = True
-            (waived if matched else active).append(f)
-        # Stale shard waivers are audited here (the linter's W2 skips them:
-        # only this engine knows which shard findings exist).
-        for w in live:
-            if not w.used and (w.rule in rule_ids or rules == ALL_SHARD_RULES):
-                active.append(
-                    Finding(
-                        path=mod.relpath,
-                        line=w.comment_line,
-                        rule="unused-waiver",
-                        message=(
-                            f"waiver for `{w.rule}` matches no shard finding "
-                            f"(target line {w.target_line})"
-                        ),
-                        fix_hint="delete the waiver comment "
-                        "(or move it next to the code it excuses)",
-                    )
-                )
-
-    active.sort()
-    waived.sort()
-    if baseline is None:
-        base = Baseline([])
-    elif isinstance(baseline, Baseline):
-        base = baseline
-    else:
-        base = Baseline.load(baseline)
-    final, baselined, stale = base.partition(active)
+    # Stale shard waivers are audited by the shared helper (the linter's
+    # W2 skips them: only this engine knows which shard findings exist).
+    waived = match_prefix_waivers(
+        modules,
+        raw_by_module,
+        prefix=SHARD_RULE_PREFIX,
+        rule_ids={r.id for r in rules},
+        audit_all=rules == ALL_SHARD_RULES,
+        engine="shard",
+        active=active,
+    )
+    final, baselined, stale = apply_baseline(active, waived, baseline)
     return ShardReport(
         root=root,
         files=len(files),

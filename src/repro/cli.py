@@ -55,10 +55,18 @@ Commands
     ``src/repro``; exits non-zero on any finding that is neither waived
     (``# repro: allow(shard-...): why``) nor in ``shard-baseline.json``.
     ``--list-rules`` prints the rule table.
+``proto-check [--format text|json|sarif] [--rules P,...] [--spec PATH]``
+    Run the protocol state-machine & message-contract analyzer (rules
+    P1–P6, see ``docs/ANALYSIS.md``) over ``src/repro``, checking the
+    extracted protocol against the declarative ``protocol-spec.json``;
+    exits non-zero on any finding that is neither waived
+    (``# repro: allow(protocol-...): why``) nor in ``proto-baseline.json``.
+    ``--list-rules`` prints the rule table.
 ``check [--format text|json|sarif] [--paths P ...]``
-    Umbrella: run lint + flow + shard-check off one shared parse and one
-    call-graph build, with a combined exit code; ``--format sarif``
-    merges all three tools into one multi-run SARIF document.
+    Umbrella: run lint + flow + shard-check + proto-check off one shared
+    parse and one call-graph build, with a combined exit code;
+    ``--format sarif`` merges all four tools into one multi-run SARIF
+    document.
 """
 
 from __future__ import annotations
@@ -384,70 +392,52 @@ def _repo_root():
     return pkg.parents[1] if pkg.parent.name == "src" else Path.cwd()
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    import json
-    from pathlib import Path
+def _rule_meta(rules) -> dict:
+    """SARIF rule metadata for any rule/policy tuple (shared shape)."""
+    return {
+        r.id: {
+            "description": r.description,
+            "help": r.fix_hint,
+            "level": getattr(r, "severity", "error"),
+        }
+        for r in rules
+    }
 
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.common import run_engine_command
     from repro.analysis.lint import (
         DEFAULT_BASELINE_NAME,
-        LintError,
         fix_unused_waivers,
         resolve_rules,
         rule_table,
         run_lint,
-        write_baseline,
     )
 
-    if args.list_rules:
-        print(rule_table())
-        return 0
-    root = _repo_root()
-    paths = [Path(p) for p in args.paths] if args.paths else None
-    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
-    try:
-        rules = resolve_rules(args.rules)
+    def pre(rules, paths):
         if args.fix:
-            fixed = fix_unused_waivers(paths, root=root, rules=rules)
+            fixed = fix_unused_waivers(paths, root=_repo_root(), rules=rules)
             for relpath, count in sorted(fixed.items()):
                 print(f"fixed {relpath}: removed {count} stale waiver(s)")
             if not fixed:
                 print("nothing to fix: no stale waivers")
-        if args.update_baseline:
-            report = run_lint(paths, root=root, rules=rules, baseline=None)
-            write_baseline(baseline_path, report.findings)
-            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
-            return 0
-        report = run_lint(
-            paths,
-            root=root,
-            rules=rules,
-            baseline=None if args.no_baseline else baseline_path,
-        )
-    except LintError as exc:
-        print(f"lint: {exc}")
-        return 2
-    if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
-    elif args.format == "sarif":
-        from repro.analysis.sarif import sarif_report
 
-        meta = {
-            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
-            for r in rules
-        }
-        doc = sarif_report(
-            report.findings, tool_name="repro-lint", rule_meta=meta, root=root
-        )
-        print(json.dumps(doc, indent=2))
-    else:
-        print(report.format_text())
-    return 0 if report.ok else 1
+    return run_engine_command(
+        args,
+        name="lint",
+        tool_name="repro-lint",
+        root=_repo_root(),
+        default_baseline_name=DEFAULT_BASELINE_NAME,
+        resolve=resolve_rules,
+        table=rule_table,
+        runner=run_lint,
+        rule_meta=_rule_meta,
+        pre=pre,
+    )
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
-    import json
-    from pathlib import Path
-
+    from repro.analysis.common import run_engine_command
     from repro.analysis.flow import (
         DEFAULT_FLOW_BASELINE_NAME,
         FlowError,
@@ -455,59 +445,32 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         resolve_policies,
         run_flow,
     )
-    from repro.analysis.lint import write_baseline
 
-    if args.list_policies:
-        print(policy_table())
-        return 0
-    root = _repo_root()
-    paths = [Path(p) for p in args.paths] if args.paths else None
-    baseline_path = (
-        Path(args.baseline) if args.baseline else root / DEFAULT_FLOW_BASELINE_NAME
-    )
-    try:
-        policies = resolve_policies(args.policies)
-        if args.update_baseline:
-            report = run_flow(
-                paths, root=root, policies=policies, baseline=None,
-                max_depth=args.max_depth,
-            )
-            write_baseline(baseline_path, report.findings)
-            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
-            return 0
-        report = run_flow(
+    def runner(paths, *, root, rules, baseline):
+        return run_flow(
             paths,
             root=root,
-            policies=policies,
-            baseline=None if args.no_baseline else baseline_path,
+            policies=rules,
+            baseline=baseline,
             max_depth=args.max_depth,
         )
-    except FlowError as exc:
-        print(f"flow: {exc}")
-        return 2
-    if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
-    elif args.format == "sarif":
-        from repro.analysis.sarif import sarif_report
 
-        meta = {
-            p.id: {"description": p.description, "help": p.fix_hint, "level": "error"}
-            for p in policies
-        }
-        doc = sarif_report(
-            report.findings, tool_name="repro-flow", rule_meta=meta, root=root
-        )
-        print(json.dumps(doc, indent=2))
-    else:
-        print(report.format_text())
-    return 0 if report.ok else 1
+    return run_engine_command(
+        args,
+        name="flow",
+        tool_name="repro-flow",
+        root=_repo_root(),
+        default_baseline_name=DEFAULT_FLOW_BASELINE_NAME,
+        resolve=resolve_policies,
+        table=policy_table,
+        runner=runner,
+        rule_meta=_rule_meta,
+        errors=(FlowError,),
+    )
 
 
 def _cmd_shard_check(args: argparse.Namespace) -> int:
-    import json
-    from pathlib import Path
-
-    from repro.analysis.lint import LintError, write_baseline
+    from repro.analysis.common import run_engine_command
     from repro.analysis.shard import (
         DEFAULT_SHARD_BASELINE_NAME,
         resolve_shard_rules,
@@ -515,50 +478,54 @@ def _cmd_shard_check(args: argparse.Namespace) -> int:
         shard_rule_table,
     )
 
-    if args.list_rules:
-        print(shard_rule_table())
-        return 0
-    root = _repo_root()
-    paths = [Path(p) for p in args.paths] if args.paths else None
-    baseline_path = (
-        Path(args.baseline) if args.baseline else root / DEFAULT_SHARD_BASELINE_NAME
+    return run_engine_command(
+        args,
+        name="shard-check",
+        tool_name="repro-shard",
+        root=_repo_root(),
+        default_baseline_name=DEFAULT_SHARD_BASELINE_NAME,
+        resolve=resolve_shard_rules,
+        table=shard_rule_table,
+        runner=run_shard_check,
+        rule_meta=_rule_meta,
     )
-    try:
-        rules = resolve_shard_rules(args.rules)
-        if args.update_baseline:
-            report = run_shard_check(paths, root=root, rules=rules, baseline=None)
-            write_baseline(baseline_path, report.findings)
-            print(f"wrote {baseline_path} ({len(report.findings)} entries)")
-            return 0
-        report = run_shard_check(
+
+
+def _cmd_proto_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.common import run_engine_command
+    from repro.analysis.proto import (
+        DEFAULT_PROTO_BASELINE_NAME,
+        proto_rule_table,
+        resolve_proto_rules,
+        run_proto_check,
+    )
+
+    def runner(paths, *, root, rules, baseline):
+        return run_proto_check(
             paths,
             root=root,
             rules=rules,
-            baseline=None if args.no_baseline else baseline_path,
+            baseline=baseline,
+            spec=Path(args.spec) if args.spec else None,
         )
-    except LintError as exc:
-        print(f"shard-check: {exc}")
-        return 2
-    if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
-    elif args.format == "sarif":
-        from repro.analysis.sarif import sarif_report
 
-        meta = {
-            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
-            for r in rules
-        }
-        doc = sarif_report(
-            report.findings, tool_name="repro-shard", rule_meta=meta, root=root
-        )
-        print(json.dumps(doc, indent=2))
-    else:
-        print(report.format_text())
-    return 0 if report.ok else 1
+    return run_engine_command(
+        args,
+        name="proto-check",
+        tool_name="repro-proto",
+        root=_repo_root(),
+        default_baseline_name=DEFAULT_PROTO_BASELINE_NAME,
+        resolve=resolve_proto_rules,
+        table=proto_rule_table,
+        runner=runner,
+        rule_meta=_rule_meta,
+    )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    """Umbrella run: lint + flow + shard-check off one parse and one graph."""
+    """Umbrella: lint + flow + shard-check + proto-check, one parse."""
     import json
     from pathlib import Path
 
@@ -570,6 +537,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         run_flow,
     )
     from repro.analysis.lint import ALL_RULES, DEFAULT_BASELINE_NAME, LintError, run_lint
+    from repro.analysis.proto import (
+        ALL_PROTO_RULES,
+        DEFAULT_PROTO_BASELINE_NAME,
+        run_proto_check,
+    )
     from repro.analysis.shard import (
         ALL_SHARD_RULES,
         DEFAULT_SHARD_BASELINE_NAME,
@@ -582,7 +554,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     targets = paths if paths is not None else [root / "src" / "repro"]
     cache = SourceCache(root)
     try:
-        # One parse of the whole target set, one call graph; the three
+        # One parse of the whole target set, one call graph; the four
         # engines then share both instead of re-doing the expensive work.
         files = collect_py_files(targets)
         modules = []
@@ -608,51 +580,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
             cache=cache,
             index=index,
         )
+        proto_report = run_proto_check(
+            paths,
+            root=root,
+            baseline=root / DEFAULT_PROTO_BASELINE_NAME,
+            cache=cache,
+            index=index,
+        )
     except (LintError, FlowError, FileNotFoundError) as exc:
         print(f"check: {exc}")
         return 2
-    ok = lint_report.ok and flow_report.ok and shard_report.ok
+    reports = {
+        "lint": lint_report,
+        "flow": flow_report,
+        "shard": shard_report,
+        "proto": proto_report,
+    }
+    ok = all(r.ok for r in reports.values())
     if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "version": 1,
-                    "ok": ok,
-                    "lint": lint_report.to_dict(),
-                    "flow": flow_report.to_dict(),
-                    "shard": shard_report.to_dict(),
-                },
-                indent=2,
-            )
-        )
+        payload = {"version": 1, "ok": ok}
+        payload.update({key: r.to_dict() for key, r in reports.items()})
+        print(json.dumps(payload, indent=2))
     elif args.format == "sarif":
         from repro.analysis.sarif import sarif_report
 
-        lint_meta = {
-            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
-            for r in ALL_RULES
-        }
-        flow_meta = {
-            p.id: {"description": p.description, "help": p.fix_hint, "level": "error"}
-            for p in ALL_POLICIES
-        }
-        shard_meta = {
-            r.id: {"description": r.description, "help": r.fix_hint, "level": r.severity}
-            for r in ALL_SHARD_RULES
-        }
+        tools = (
+            ("repro-lint", lint_report, ALL_RULES),
+            ("repro-flow", flow_report, ALL_POLICIES),
+            ("repro-shard", shard_report, ALL_SHARD_RULES),
+            ("repro-proto", proto_report, ALL_PROTO_RULES),
+        )
         docs = [
             sarif_report(
-                lint_report.findings, tool_name="repro-lint",
-                rule_meta=lint_meta, root=root,
-            ),
-            sarif_report(
-                flow_report.findings, tool_name="repro-flow",
-                rule_meta=flow_meta, root=root,
-            ),
-            sarif_report(
-                shard_report.findings, tool_name="repro-shard",
-                rule_meta=shard_meta, root=root,
-            ),
+                report.findings,
+                tool_name=tool,
+                rule_meta=_rule_meta(rules),
+                root=root,
+            )
+            for tool, report, rules in tools
         ]
         merged = {
             "$schema": docs[0]["$schema"],
@@ -665,6 +630,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             ("lint", lint_report),
             ("flow", flow_report),
             ("shard-check", shard_report),
+            ("proto-check", proto_report),
         ):
             print(f"== {title} ==")
             print(report.format_text())
@@ -779,44 +745,15 @@ def main(argv: list[str] | None = None) -> int:
         help="BENCH_scaling.json path (default: %(default)s)",
     )
 
+    from repro.analysis.common import add_engine_arguments
+
     p_lint = sub.add_parser(
         "lint", help="determinism & lateness linter (docs/ANALYSIS.md)"
     )
-    p_lint.add_argument(
-        "--format",
-        choices=["text", "json", "sarif"],
-        default="text",
-        help="output format",
-    )
-    p_lint.add_argument(
-        "--rules",
-        default=None,
-        metavar="R[,R...]",
-        help="only run these rules (ids like `wallclock` or codes like D2)",
-    )
-    p_lint.add_argument(
-        "--paths",
-        nargs="*",
-        default=None,
-        metavar="PATH",
-        help="files/directories to lint (default: src/repro)",
-    )
-    p_lint.add_argument(
-        "--baseline",
-        default=None,
-        metavar="PATH",
-        help="baseline file (default: lint-baseline.json at the repo root)",
-    )
-    p_lint.add_argument(
-        "--no-baseline", action="store_true", help="ignore the baseline file"
-    )
-    p_lint.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
-    )
-    p_lint.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
+    add_engine_arguments(
+        p_lint,
+        default_baseline_name="lint-baseline.json",
+        rules_help="only run these rules (ids like `wallclock` or codes like D2)",
     )
     p_lint.add_argument(
         "--fix",
@@ -827,38 +764,14 @@ def main(argv: list[str] | None = None) -> int:
     p_flow = sub.add_parser(
         "flow", help="interprocedural information-flow analysis (docs/ANALYSIS.md)"
     )
-    p_flow.add_argument(
-        "--format",
-        choices=["text", "json", "sarif"],
-        default="text",
-        help="output format",
-    )
-    p_flow.add_argument(
-        "--policies",
-        default=None,
-        metavar="P[,P...]",
-        help="only run these policies (ids like `flow-lateness` or codes like F1)",
-    )
-    p_flow.add_argument(
-        "--paths",
-        nargs="*",
-        default=None,
-        metavar="PATH",
-        help="files/directories to analyse (default: src/repro)",
-    )
-    p_flow.add_argument(
-        "--baseline",
-        default=None,
-        metavar="PATH",
-        help="baseline file (default: flow-baseline.json at the repo root)",
-    )
-    p_flow.add_argument(
-        "--no-baseline", action="store_true", help="ignore the baseline file"
-    )
-    p_flow.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
+    add_engine_arguments(
+        p_flow,
+        default_baseline_name="flow-baseline.json",
+        rules_flags=("--policies", "--rules"),
+        rules_metavar="P[,P...]",
+        rules_help="only run these policies (ids like `flow-lateness` or codes like F1)",
+        list_flags=("--list-policies", "--list-rules"),
+        list_help="print the policy table and exit",
     )
     p_flow.add_argument(
         "--max-depth",
@@ -868,61 +781,45 @@ def main(argv: list[str] | None = None) -> int:
         help="summary-propagation passes, i.e. max helper-chain length "
         "taint is tracked through (default: %(default)s)",
     )
-    p_flow.add_argument(
-        "--list-policies",
-        action="store_true",
-        help="print the policy table and exit",
-    )
 
     p_shard = sub.add_parser(
         "shard-check",
         help="process-role & shared-memory ownership analyzer (docs/ANALYSIS.md)",
     )
-    p_shard.add_argument(
-        "--format",
-        choices=["text", "json", "sarif"],
-        default="text",
-        help="output format",
+    add_engine_arguments(
+        p_shard,
+        default_baseline_name="shard-baseline.json",
+        rules_metavar="S[,S...]",
+        rules_help="only run these rules (ids like `shard-band-ownership` or codes like S1)",
     )
-    p_shard.add_argument(
-        "--rules",
-        default=None,
-        metavar="S[,S...]",
-        help="only run these rules (ids like `shard-band-ownership` or codes like S1)",
+
+    p_proto = sub.add_parser(
+        "proto-check",
+        help="protocol state-machine & message-contract analyzer (docs/ANALYSIS.md)",
     )
-    p_shard.add_argument(
-        "--paths",
-        nargs="*",
+    add_engine_arguments(
+        p_proto,
+        default_baseline_name="proto-baseline.json",
+        rules_metavar="P[,P...]",
+        rules_help="only run these rules (ids like `protocol-phase-violation` "
+        "or codes like P2)",
+    )
+    p_proto.add_argument(
+        "--spec",
         default=None,
         metavar="PATH",
-        help="files/directories to analyse (default: src/repro)",
-    )
-    p_shard.add_argument(
-        "--baseline",
-        default=None,
-        metavar="PATH",
-        help="baseline file (default: shard-baseline.json at the repo root)",
-    )
-    p_shard.add_argument(
-        "--no-baseline", action="store_true", help="ignore the baseline file"
-    )
-    p_shard.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
-    )
-    p_shard.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
+        help="protocol spec file (default: protocol-spec.json at the repo root)",
     )
 
     p_check = sub.add_parser(
-        "check", help="umbrella: lint + flow + shard-check off one shared parse"
+        "check",
+        help="umbrella: lint + flow + shard-check + proto-check off one shared parse",
     )
     p_check.add_argument(
         "--format",
         choices=["text", "json", "sarif"],
         default="text",
-        help="output format (`sarif` merges all three tools into one document)",
+        help="output format (`sarif` merges all four tools into one document)",
     )
     p_check.add_argument(
         "--paths",
@@ -952,6 +849,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "flow": _cmd_flow,
         "shard-check": _cmd_shard_check,
+        "proto-check": _cmd_proto_check,
         "check": _cmd_check,
     }
     return handlers[args.command](args)

@@ -40,6 +40,8 @@ __all__ = [
 class JoinRecord:
     """A node's position in an upcoming overlay epoch."""
 
+    __protocol__ = True
+
     node: int
     pos: float
     epoch: int
@@ -48,6 +50,8 @@ class JoinRecord:
 @dataclass(frozen=True, slots=True)
 class JoinBatch:
     """Rebroadcast of join records to a current-overlay neighbour."""
+
+    __protocol__ = True
 
     records: tuple[JoinRecord, ...]
 
@@ -64,6 +68,8 @@ class CreateBatch:
     exact projections; consumers MUST fall back to ``records`` when absent.
     """
 
+    __protocol__ = True
+
     records: tuple[JoinRecord, ...]
     nodes: tuple[int, ...] | None = field(
         default=None, compare=False, repr=False
@@ -78,6 +84,8 @@ class CreateBatch:
 class TokenMsg:
     """A token (= the id of a mature node willing to be contacted)."""
 
+    __protocol__ = True
+
     owner: int
 
 
@@ -85,11 +93,15 @@ class TokenMsg:
 class ConnectMsg:
     """Register fresh node ``node`` with the receiver (fills a slot)."""
 
+    __protocol__ = True
+
     node: int
 
 
 @dataclass(frozen=True, slots=True)
 class TokenGrant:
     """Initial token supply handed to a newly joined node."""
+
+    __protocol__ = True
 
     tokens: tuple[int, ...]

@@ -57,6 +57,8 @@ __all__ = [
 class JoinNotice:
     """Delivered to a bootstrap node when a new node joins via it (round t)."""
 
+    __protocol__ = True
+
     new_id: int
 
 

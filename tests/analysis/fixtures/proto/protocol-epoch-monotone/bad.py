@@ -1,0 +1,29 @@
+# repro: module(protofix.p5_bad)
+"""P5 bad: the spec'd writer uses an off-spec source, a rogue method
+writes self.epoch at all, and the message epoch field is filled from a
+bare constant instead of the spec'd expression."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JoinRec:
+    """Fixture record."""
+
+    __protocol__ = True
+
+    node: int
+    epoch: int
+
+
+class Node:
+    def on_round(self, ctx):
+        pass
+
+    def _cutover(self, e):
+        self.epoch = e + 5
+
+    def rogue(self):
+        self.epoch = self.epoch + 1
+
+    def launch(self, nid):
+        return JoinRec(node=nid, epoch=9)

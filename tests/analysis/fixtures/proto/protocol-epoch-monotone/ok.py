@@ -1,0 +1,29 @@
+# repro: module(protofix.p5_ok)
+"""P5 ok: self.epoch is written only by the spec'd writer from its
+spec'd source (None — demotion — is always legal), and the message epoch
+field is filled from the spec'd expression."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JoinRec:
+    """Fixture record."""
+
+    __protocol__ = True
+
+    node: int
+    epoch: int
+
+
+class Node:
+    def on_round(self, ctx):
+        pass
+
+    def _cutover(self, e):
+        self.epoch = e
+
+    def demote(self):
+        self.epoch = None
+
+    def launch(self, nid, e):
+        return JoinRec(node=nid, epoch=e + 2)

@@ -1,0 +1,32 @@
+# repro: module(protofix.p3_bad)
+"""P3 bad: the dataclass renamed `pos` to `position` without touching
+the spec; one call overflows positionally, one passes the stale field
+name; the codec packs a 4-tuple and unpacks only one wire column
+against the spec's 3-column wire tuple."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rec:
+    """Fixture record whose second field drifted from the spec."""
+
+    __protocol__ = True
+
+    node: int
+    position: float
+
+
+def launch(nid, position):
+    return Rec(nid, position, 7)
+
+
+def relaunch(nid):
+    return Rec(node=nid, pos=0.0)
+
+
+def _msg_key(msg):
+    return (1, msg, 0, 0)
+
+
+def _decode_msg(is_hop, frame):
+    return frame

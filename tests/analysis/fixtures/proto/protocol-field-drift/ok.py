@@ -1,0 +1,22 @@
+# repro: module(protofix.p3_ok)
+"""P3 ok: the spec's field list, the dataclass and every constructor
+call agree (names, order, required fields)."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rec:
+    """Fixture record."""
+
+    __protocol__ = True
+
+    node: int
+    pos: float
+
+
+def launch(nid, position):
+    return Rec(nid, pos=position)
+
+
+def relaunch(nid):
+    return Rec(node=nid, pos=0.0)

@@ -1,0 +1,46 @@
+# repro: module(protofix.p2_bad)
+"""P2 bad: beats are handed off in any phase, constructed under a FRESH
+guard, and the probe payload is emitted with no phase guard at all."""
+from dataclasses import dataclass
+
+
+class Phase:
+    NEW = 0
+    FRESH = 1
+    ESTABLISHED = 2
+
+
+@dataclass(frozen=True)
+class Beat:
+    """Fixture message."""
+
+    __protocol__ = True
+
+    owner: int
+
+
+class Node:
+    def on_round(self, ctx):
+        beats = []
+        buckets = {Beat: beats}
+        for msg in ctx.inbox:
+            buckets[type(msg)].append(msg)
+        self._handle_beats(beats)
+        if self.phase is Phase.FRESH:
+            self._emit(ctx)
+
+    def _handle_beats(self, beats):
+        for msg in beats:
+            self.owner = msg.owner
+
+    def _emit(self, ctx):
+        ctx.send(0, Beat(owner=self.owner))
+
+    def probe(self, ctx, make_routed_message):
+        return make_routed_message(payload=("probe", self.owner))
+
+    def deliver(self, msg):
+        tag, body = msg.payload
+        if tag == "probe":
+            return body
+        return None

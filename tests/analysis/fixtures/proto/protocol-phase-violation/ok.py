@@ -1,0 +1,49 @@
+# repro: module(protofix.p2_ok)
+"""P2 ok: construction, bucket hand-off and payload emission all sit
+under the spec'd `self.phase is Phase.ESTABLISHED` guard (directly, or
+via the interprocedural entry context of `_emit`)."""
+from dataclasses import dataclass
+
+
+class Phase:
+    NEW = 0
+    FRESH = 1
+    ESTABLISHED = 2
+
+
+@dataclass(frozen=True)
+class Beat:
+    """Fixture message."""
+
+    __protocol__ = True
+
+    owner: int
+
+
+class Node:
+    def on_round(self, ctx):
+        beats = []
+        buckets = {Beat: beats}
+        for msg in ctx.inbox:
+            buckets[type(msg)].append(msg)
+        if self.phase is Phase.ESTABLISHED:
+            self._handle_beats(beats)
+            self._emit(ctx)
+
+    def _handle_beats(self, beats):
+        for msg in beats:
+            self.owner = msg.owner
+
+    def _emit(self, ctx):
+        ctx.send(0, Beat(owner=self.owner))
+
+    def probe(self, ctx, make_routed_message):
+        if self.phase is not Phase.ESTABLISHED:
+            return None
+        return make_routed_message(payload=("probe", self.owner))
+
+    def deliver(self, msg):
+        tag, body = msg.payload
+        if tag == "probe":
+            return body
+        return None

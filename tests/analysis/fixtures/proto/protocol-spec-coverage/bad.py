@@ -1,0 +1,33 @@
+# repro: module(protofix.p6_bad)
+"""P6 bad: a marked class with no spec entry, an unmarked dataclass in a
+spec'd message module, a rogue payload tag, and — because this file
+implements neither `Ping` nor the "probe" tag — the spec-side findings
+for an unimplemented message and a never-emitted payload."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rogue:
+    """Marked but never given a spec entry."""
+
+    __protocol__ = True
+
+    data: int
+
+
+@dataclass(frozen=True)
+class Stray:
+    """A message-module dataclass missing the __protocol__ marker."""
+
+    data: int
+
+
+def probe(state, make_routed_message):
+    return make_routed_message(payload=("mystery", state))
+
+
+def deliver(msg):
+    tag, body = msg.payload
+    if tag == "mystery":
+        return body
+    return None

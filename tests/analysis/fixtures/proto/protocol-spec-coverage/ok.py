@@ -1,0 +1,25 @@
+# repro: module(protofix.p6_ok)
+"""P6 ok: registry == spec exactly, every dataclass in the message
+module carries the marker, and emitted payload tags match the spec's
+payload table in both directions."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Fixture record."""
+
+    __protocol__ = True
+
+    data: int
+
+
+def probe(state, make_routed_message):
+    return make_routed_message(payload=("probe", state))
+
+
+def deliver(msg):
+    tag, body = msg.payload
+    if tag == "probe":
+        return body
+    return None

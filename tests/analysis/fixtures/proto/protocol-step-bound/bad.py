@@ -1,0 +1,37 @@
+# repro: module(protofix.p4_bad)
+"""P4 bad: a trajectory launched at step 1 instead of the spec'd 0, an
+increment with no `final_step` bound check anywhere in scope, and a TTL
+stamp from an off-spec expiry expression."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Fixture record."""
+
+    __protocol__ = True
+
+    body: int
+
+
+class Hop:
+    def __init__(self, frame, step, final_step):
+        self.frame = frame
+        self.step = step
+        self.final_step = final_step
+
+
+def launch(plane, frame):
+    plane.send_hops(Hop(frame, 1, 3), 1, [1])
+
+
+def forward(plane, hop, dsts):
+    plane.send_hops(hop, hop.step + 1, dsts)
+
+
+class Node:
+    def on_round(self, ctx):
+        pass
+
+    def accept(self, ctx, owner):
+        self.tokens.append((ctx.round + 7, owner))

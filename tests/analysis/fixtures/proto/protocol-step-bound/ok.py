@@ -1,0 +1,49 @@
+# repro: module(protofix.p4_ok)
+"""P4 ok: steps are initialised at the spec'd 0, passed through from
+parameters, or advanced under a `final_step` bound check; TTL stamps use
+the spec'd expiry expression for both the pool and the ledger."""
+from dataclasses import dataclass
+
+TOKEN_TTL = 4
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Fixture record."""
+
+    __protocol__ = True
+
+    body: int
+
+
+class Hop:
+    def __init__(self, frame, step, final_step):
+        self.frame = frame
+        self.step = step
+        self.final_step = final_step
+
+    def advanced(self):
+        if self.step >= self.final_step:
+            raise ValueError("trajectory exhausted")
+        return Hop(self.frame, self.step + 1, self.final_step)
+
+
+def launch(plane, frame):
+    plane.send_hops(Hop(frame, 0, 3), 0, [1])
+
+
+def forward(plane, hop, step, dsts):
+    plane.send_hops(hop, step, dsts)
+
+
+class Node:
+    def on_round(self, ctx):
+        for expiry, owner in list(self.tokens):
+            if expiry <= ctx.round:
+                self.tokens.remove((expiry, owner))
+
+    def accept(self, ctx, owner):
+        self.tokens.append((ctx.round + TOKEN_TTL, owner))
+
+    def grant(self, ctx, owner):
+        self.grants[owner] = ctx.round + TOKEN_TTL

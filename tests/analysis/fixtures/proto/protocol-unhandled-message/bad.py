@@ -1,0 +1,42 @@
+# repro: module(protofix.p1_bad)
+"""P1 bad: Ping is constructed but never dispatched; the Pong dispatch
+entry is dead (nothing constructs Pong); the probe payload tag is
+emitted but never tested anywhere."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Fixture message."""
+
+    __protocol__ = True
+
+    data: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Fixture message."""
+
+    __protocol__ = True
+
+    data: int
+
+
+class Node:
+    def on_round(self, ctx):
+        pongs = []
+        buckets = {Pong: pongs}
+        for msg in ctx.inbox:
+            buckets[type(msg)].append(msg)
+        self._handle_pongs(pongs)
+
+    def _handle_pongs(self, pongs):
+        for msg in pongs:
+            self.last = msg.data
+
+    def emit(self, ctx):
+        ctx.send(0, Ping(data=1))
+
+    def probe(self, ctx, make_routed_message):
+        return make_routed_message(payload=("probe", self.last))

@@ -1,0 +1,54 @@
+# repro: module(protofix.p1_ok)
+"""P1 ok: both messages are constructed AND dispatched; the probe payload
+tag is emitted AND tested at a delivery site."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Fixture message."""
+
+    __protocol__ = True
+
+    data: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Fixture message."""
+
+    __protocol__ = True
+
+    data: int
+
+
+class Node:
+    def on_round(self, ctx):
+        pings = []
+        pongs = []
+        buckets = {Ping: pings, Pong: pongs}
+        for msg in ctx.inbox:
+            buckets[type(msg)].append(msg)
+        self._handle_pings(pings)
+        self._handle_pongs(pongs)
+
+    def _handle_pings(self, pings):
+        for msg in pings:
+            self.last = msg.data
+
+    def _handle_pongs(self, pongs):
+        for msg in pongs:
+            self.last = msg.data
+
+    def emit(self, ctx):
+        ctx.send(0, Ping(data=1))
+        ctx.send(0, Pong(data=2))
+
+    def probe(self, ctx, make_routed_message):
+        return make_routed_message(payload=("probe", self.last))
+
+    def deliver(self, msg):
+        tag, body = msg.payload
+        if tag == "probe":
+            return body
+        return None

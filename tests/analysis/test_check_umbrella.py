@@ -1,16 +1,24 @@
-"""The ``repro check`` umbrella: three engines, one parse, one call graph."""
+"""The ``repro check`` umbrella: four engines, one parse, one call graph."""
 
 import json
 import textwrap
 
 from repro.analysis.flow import ProjectIndex, run_flow
 from repro.analysis.lint import run_lint
+from repro.analysis.proto import run_proto_check
 from repro.analysis.sarif import validate_sarif
 from repro.analysis.shard import run_shard_check
 from repro.analysis.source_cache import SourceCache, collect_py_files
 
+TINY_SPEC = {
+    "schema": 1,
+    "messages": {
+        "Ping": {"anchor": "test spec", "kind": "record", "fields": ["value"]}
+    },
+}
 
-def test_three_engines_share_one_parse_and_one_graph(tmp_path):
+
+def test_four_engines_share_one_parse_and_one_graph(tmp_path):
     (tmp_path / "a.py").write_text(
         textwrap.dedent(
             """
@@ -23,6 +31,22 @@ def test_three_engines_share_one_parse_and_one_graph(tmp_path):
         )
     )
     (tmp_path / "b.py").write_text("VALUE = 3\n")
+    (tmp_path / "c.py").write_text(
+        textwrap.dedent(
+            """
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Ping:
+                '''A test message.'''
+
+                __protocol__ = True
+
+                value: int
+            """
+        )
+    )
     cache = SourceCache(tmp_path)
     files = collect_py_files([tmp_path])
     index = ProjectIndex([m for m in map(cache.try_module, files) if m])
@@ -36,9 +60,17 @@ def test_three_engines_share_one_parse_and_one_graph(tmp_path):
     shard = run_shard_check(
         [tmp_path], root=tmp_path, baseline=None, cache=cache, index=index
     )
+    proto = run_proto_check(
+        [tmp_path],
+        root=tmp_path,
+        baseline=None,
+        cache=cache,
+        index=index,
+        spec=TINY_SPEC,
+    )
     # No engine re-parsed anything the shared cache already held.
     assert cache.parses == parses
-    assert lint.ok and flow.ok and shard.ok
+    assert lint.ok and flow.ok and shard.ok and proto.ok
     assert shard.roles.worker_only("a._worker_main")
 
 
@@ -50,19 +82,21 @@ def test_cli_check_emits_one_merged_sarif_document(capsys):
     assert code == 0
     validate_sarif(doc)
     names = [run["tool"]["driver"]["name"] for run in doc["runs"]]
-    assert names == ["repro-lint", "repro-flow", "repro-shard"]
+    assert names == ["repro-lint", "repro-flow", "repro-shard", "repro-proto"]
 
 
-def test_cli_check_json_combines_all_three_reports(capsys):
+def test_cli_check_json_combines_all_four_reports(capsys):
     from repro.cli import main
 
     code = main(["check", "--format", "json"])
     payload = json.loads(capsys.readouterr().out)
     assert code == 0
     assert payload["ok"] is True
-    for key in ("lint", "flow", "shard"):
+    for key in ("lint", "flow", "shard", "proto"):
         assert payload[key]["counts"]["active"] == 0
     assert payload["shard"]["roles"]["worker"] >= 5
+    assert payload["proto"]["protocol"]["messages"] == 7
+    assert payload["proto"]["protocol"]["dispatch_entries"] == 6
 
 
 def test_cli_check_fails_on_injected_defect(tmp_path, capsys):
